@@ -1,0 +1,17 @@
+"""Benchmarks: the compiler-switch ablations DESIGN.md calls out."""
+from repro.experiments import ablations
+
+
+def test_inlining_ablation(benchmark, runner):
+    result = benchmark(ablations.inlining, runner)
+    assert any(row.calls_inlined < row.calls_base for row in result.rows)
+    print()
+    print(result.format_text())
+
+
+def test_if_conversion_ablation(benchmark, runner):
+    result = benchmark(ablations.if_conversion, runner)
+    for row in result.rows:
+        assert row.branch_execs_converted <= row.branch_execs_base
+    print()
+    print(result.format_text())

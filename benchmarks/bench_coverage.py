@@ -1,0 +1,9 @@
+"""Benchmark: the coverage-vs-quality correlation sweep."""
+from repro.experiments import coverage
+
+
+def test_coverage_correlation(benchmark, runner):
+    result = benchmark(coverage.run, runner)
+    assert len(result.pairs) > 100
+    print()
+    print(result.format_text())

@@ -1,0 +1,24 @@
+"""Benchmark: dynamic (1-bit/2-bit) vs static prediction comparison.
+
+Unlike the other benches, this one genuinely re-simulates — dynamic
+predictors observe the live outcome stream — so it doubles as a VM
+throughput benchmark on a mid-sized program set.
+"""
+from repro.experiments import informal
+
+PROGRAMS = ["lfk", "doduc"]
+
+
+def test_dynamic_comparison(benchmark, runner):
+    benchmark.pedantic(
+        informal.dynamic_comparison,
+        args=(runner,),
+        kwargs={"programs": PROGRAMS},
+        iterations=1,
+        rounds=2,
+    )
+    result = informal.dynamic_comparison(runner, programs=PROGRAMS)
+    for row in result.rows:
+        assert row.two_bit_accuracy > 0.8
+    print()
+    print(result.format_text())

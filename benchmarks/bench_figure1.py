@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figures 1a/1b (instrs per break, no prediction)."""
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, runner):
+    result = benchmark(figure1.run, runner)
+    assert result.fortran_bars and result.c_bars
+    print()
+    print(result.format_text())

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figures 2a/2b (instrs per break, predicted)."""
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, runner):
+    result = benchmark(figure2.run, runner)
+    assert len(result.spice_bars) == 9
+    print()
+    print(result.format_text())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figures 3a/3b (best/worst single-dataset
+predictors)."""
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, runner):
+    result = benchmark(figure3.run, runner)
+    assert min(bar.worst_percent for bar in result.spice_bars) < 40
+    print()
+    print(result.format_text())

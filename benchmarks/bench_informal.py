@@ -1,0 +1,38 @@
+"""Benchmarks: the paper's §3 informal observations, regenerated."""
+from repro.experiments import informal
+
+
+def test_combine_modes(benchmark, runner):
+    result = benchmark(informal.combine_modes, runner)
+    assert result.mean_fraction("polling") <= result.mean_fraction("scaled") + 1e-9
+    print()
+    print(result.format_text())
+
+
+def test_heuristics(benchmark, runner):
+    result = benchmark(informal.heuristics, runner)
+    assert result.mean_loop_factor() > 1.4
+    print()
+    print(result.format_text())
+
+
+def test_percent_taken(benchmark, runner):
+    result = benchmark(informal.percent_taken, runner)
+    spreads = {row.program: row.spread for row in result.rows}
+    assert spreads["spice2g6"] > 0.15
+    print()
+    print(result.format_text())
+
+
+def test_compress_cross(benchmark, runner):
+    result = benchmark(informal.compress_cross, runner)
+    assert min(result.fraction_by_target.values()) < 0.75
+    print()
+    print(result.format_text())
+
+
+def test_wrong_measure(benchmark, runner):
+    result = benchmark(informal.wrong_measure, runner)
+    assert result.find("fpppp", "8atoms").branch_density > 100
+    print()
+    print(result.format_text())

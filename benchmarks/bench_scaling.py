@@ -1,0 +1,9 @@
+"""Benchmark: dataset run-length ratio vs cross-prediction quality."""
+from repro.experiments import scaling
+
+
+def test_scaling(benchmark, runner):
+    result = benchmark(scaling.run, runner)
+    assert result.worst_spice_pair().quality < 0.4
+    print()
+    print(result.format_text())

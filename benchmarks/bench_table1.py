@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (dynamic dead code removable by DCE)."""
+from repro.experiments import table1
+
+
+def test_table1(benchmark, runner):
+    result = benchmark(table1.run, runner)
+    rows = result.by_program()
+    assert rows["li"].dead_fraction < 0.01
+    assert rows["matrix300"].dead_fraction > 0.2
+    print()
+    print(result.format_text())

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2 (the program/dataset inventory)."""
+from repro.experiments import table2
+
+
+def test_table2(benchmark, runner):
+    result = benchmark(table2.run, runner)
+    assert len(result.rows) == 15
+    print()
+    print(result.format_text())

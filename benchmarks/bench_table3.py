@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 3 (instrs/break, stable FORTRAN programs)."""
+from repro.experiments import table3
+
+
+def test_table3(benchmark, runner):
+    result = benchmark(table3.run, runner)
+    assert result.ordering_matches_paper()
+    print()
+    print(result.format_text())

@@ -1,0 +1,32 @@
+"""Substrate benchmarks: compiler and VM throughput.
+
+These do not correspond to a paper table; they keep the reproduction's own
+toolchain honest (compile speed, simulation speed, prediction-evaluation
+speed), which everything else depends on.
+"""
+from repro.compiler import compile_source
+from repro.prediction import ProfilePredictor, evaluate_static
+from repro.profiling import BranchProfile
+from repro.vm.machine import run_program
+from repro.workloads import get_workload, load_program_source
+
+
+def test_compile_lisp_interpreter(benchmark):
+    source = load_program_source("li.mf")
+    compiled = benchmark(compile_source, source, "li")
+    assert compiled.lowered.functions
+
+
+def test_vm_throughput_lfk(benchmark):
+    workload = get_workload("lfk")
+    lowered = compile_source(workload.source, name="lfk").lowered
+    result = benchmark(run_program, lowered)
+    assert result.instructions > 100_000
+
+
+def test_prediction_evaluation_speed(benchmark, runner):
+    target = runner.run("spice2g6", "greybig")
+    profile = BranchProfile.from_run(runner.run("spice2g6", "greysmall"))
+    predictor = ProfilePredictor(profile)
+    report = benchmark(evaluate_static, target, predictor)
+    assert report.branch_execs > 0

@@ -1,0 +1,60 @@
+"""The full IFPROBBER tool flow, exactly as the paper describes it:
+
+"The IFPROBBER ... instruments the code with instruction counters before
+each conditional branch.  Whenever the program runs, a database of branch
+counts is augmented.  Later, a call to a utility feeds the branch counts
+back into the source in the form of the above directives."
+
+We profile the doduc workload over two datasets, feed the accumulated
+counts back into the source as IFPROB directives, recompile the feedback
+source, and use the recovered predictions on a third, unseen dataset.
+
+Run:  python examples/profile_feedback_loop.py
+"""
+from repro.compiler import compile_source
+from repro.metrics import ipb_no_prediction, ipb_self_prediction, ipb_with_predictor
+from repro.prediction import ProfilePredictor
+from repro.profiling import IfProbber, profile_from_feedback
+from repro.vm.machine import run_program
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("doduc")
+
+    # 1. Instrumented runs over the training datasets accumulate counters
+    #    in the database.
+    probber = IfProbber(workload.source, name="doduc")
+    for dataset_name in ("tiny", "small"):
+        dataset = workload.dataset(dataset_name)
+        result = probber.run_dataset(dataset_name, dataset.data)
+        print(f"profiled {dataset_name}: {result.instructions} instructions")
+
+    # 2. The utility feeds the accumulated counts back into the source.
+    feedback_source = probber.feedback_source()
+    directive_count = feedback_source.count("IFPROB")
+    print(f"\nfeedback source carries {directive_count} IFPROB directives, "
+          f"e.g.:")
+    for line in feedback_source.splitlines()[:4]:
+        print(f"  {line}")
+
+    # 3. Recompiling the feedback source recovers the predictions without
+    #    access to the original database.
+    recompiled = compile_source(feedback_source, name="doduc")
+    recovered = profile_from_feedback(recompiled)
+    predictor = ProfilePredictor(recovered, name="feedback")
+
+    # 4. Predict a dataset the profile never saw.
+    unseen = workload.dataset("ref")
+    target = run_program(recompiled.lowered, input_data=unseen.data)
+    print(f"\npredicting unseen dataset 'ref' "
+          f"({target.instructions} instructions):")
+    print(f"  unpredicted:       {ipb_no_prediction(target):7.1f} instrs/break")
+    print(f"  feedback profile:  "
+          f"{ipb_with_predictor(target, predictor):7.1f} instrs/break")
+    print(f"  best possible:     {ipb_self_prediction(target):7.1f} "
+          f"instrs/break (self-prediction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this environment has setuptools but no wheel, so PEP 517 editable
+installs fail).  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""The headline API: workload running, profiling, cross-dataset prediction."""
+from repro.core.experiment import (
+    BestWorstPrediction,
+    CrossDatasetExperiment,
+    DatasetPrediction,
+)
+from repro.core.runner import WorkloadRunner
+
+__all__ = [
+    "BestWorstPrediction",
+    "CrossDatasetExperiment",
+    "DatasetPrediction",
+    "WorkloadRunner",
+]

@@ -1,0 +1,162 @@
+"""Cross-dataset prediction experiments — the paper's core methodology.
+
+"We used these counts as predictors, one per dataset, and measured how well
+they performed predicting the other datasets.  We then combined the results
+of runs to form new predictors.  Sometimes we used the run we were trying to
+predict as its own predictor" (§2, General Methodology).
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.runner import WorkloadRunner
+from repro.metrics.ipb import ipb_no_prediction, ipb_with_predictor
+from repro.prediction.base import ProfilePredictor, StaticPredictor
+from repro.prediction.combine import combine_profiles
+from repro.prediction.evaluate import PredictionReport, evaluate_static
+from repro.profiling.branch_profile import BranchProfile
+from repro.vm.counters import RunResult
+
+
+@dataclasses.dataclass
+class DatasetPrediction:
+    """Figure 2 numbers for one target dataset."""
+
+    workload: str
+    dataset: str
+    instructions: int
+    ipb_unpredicted: float
+    ipb_self: float          # black bar: best possible prediction
+    ipb_combined: float      # white bar: scaled sum of the other datasets
+
+    @property
+    def combined_fraction_of_self(self) -> float:
+        """How much of the best-possible IPB the summary predictor achieves."""
+        return self.ipb_combined / self.ipb_self if self.ipb_self else 0.0
+
+
+@dataclasses.dataclass
+class BestWorstPrediction:
+    """Figure 3 numbers for one target dataset: single-other-dataset
+    predictors as a percentage of the self-prediction bound."""
+
+    workload: str
+    dataset: str
+    best_other: Optional[str]
+    worst_other: Optional[str]
+    best_percent: float
+    worst_percent: float
+
+
+class CrossDatasetExperiment:
+    """All predictor/target combinations for one workload."""
+
+    def __init__(self, runner: WorkloadRunner, workload_name: str):
+        self.runner = runner
+        self.workload_name = workload_name
+        self._runs: Optional[Dict[str, RunResult]] = None
+        self._profiles: Optional[Dict[str, BranchProfile]] = None
+
+    @property
+    def runs(self) -> Dict[str, RunResult]:
+        if self._runs is None:
+            self._runs = self.runner.run_all(self.workload_name)
+        return self._runs
+
+    @property
+    def profiles(self) -> Dict[str, BranchProfile]:
+        if self._profiles is None:
+            self._profiles = {
+                name: BranchProfile.from_run(run)
+                for name, run in self.runs.items()
+            }
+        return self._profiles
+
+    def dataset_names(self) -> List[str]:
+        return list(self.runs.keys())
+
+    # -- predictors ---------------------------------------------------------
+
+    def self_predictor(self, dataset: str) -> StaticPredictor:
+        return ProfilePredictor(self.profiles[dataset], name="self")
+
+    def single_predictor(self, predictor_dataset: str) -> StaticPredictor:
+        return ProfilePredictor(
+            self.profiles[predictor_dataset], name=predictor_dataset
+        )
+
+    def combined_predictor(
+        self, exclude: str, mode: str = "scaled"
+    ) -> StaticPredictor:
+        """The leave-one-out summary predictor (Figure 2 white bars)."""
+        rest = [
+            profile
+            for name, profile in self.profiles.items()
+            if name != exclude
+        ]
+        combined = combine_profiles(rest, mode=mode, program=self.workload_name)
+        return ProfilePredictor(combined, name=f"sum-others({mode})")
+
+    # -- measurements ---------------------------------------------------------
+
+    def ipb(self, target: str, predictor: StaticPredictor) -> float:
+        return ipb_with_predictor(self.runs[target], predictor)
+
+    def report(self, target: str, predictor: StaticPredictor) -> PredictionReport:
+        return evaluate_static(self.runs[target], predictor)
+
+    def dataset_prediction(
+        self, target: str, mode: str = "scaled"
+    ) -> DatasetPrediction:
+        """Figure 2: self vs leave-one-out combined, for one dataset."""
+        run = self.runs[target]
+        return DatasetPrediction(
+            workload=self.workload_name,
+            dataset=target,
+            instructions=run.instructions,
+            ipb_unpredicted=ipb_no_prediction(run),
+            ipb_self=self.ipb(target, self.self_predictor(target)),
+            ipb_combined=self.ipb(target, self.combined_predictor(target, mode)),
+        )
+
+    def best_worst(self, target: str) -> BestWorstPrediction:
+        """Figure 3: the best and worst single other dataset, as a percent
+        of the self-prediction bound."""
+        self_ipb = self.ipb(target, self.self_predictor(target))
+        best_name = worst_name = None
+        best = -1.0
+        worst = float("inf")
+        for other in self.dataset_names():
+            if other == target:
+                continue
+            value = self.ipb(target, self.single_predictor(other))
+            if value > best:
+                best, best_name = value, other
+            if value < worst:
+                worst, worst_name = value, other
+        if best_name is None:
+            raise ValueError(
+                f"workload {self.workload_name!r} needs 2+ datasets for "
+                f"best/worst analysis"
+            )
+        return BestWorstPrediction(
+            workload=self.workload_name,
+            dataset=target,
+            best_other=best_name,
+            worst_other=worst_name,
+            best_percent=100.0 * best / self_ipb if self_ipb else 0.0,
+            worst_percent=100.0 * worst / self_ipb if self_ipb else 0.0,
+        )
+
+    def pairwise_matrix(self) -> Dict[Tuple[str, str], float]:
+        """(predictor, target) -> instructions per break, all pairs."""
+        matrix: Dict[Tuple[str, str], float] = {}
+        for target in self.dataset_names():
+            for predictor_name in self.dataset_names():
+                if predictor_name == target:
+                    predictor = self.self_predictor(target)
+                else:
+                    predictor = self.single_predictor(predictor_name)
+                matrix[(predictor_name, target)] = self.ipb(target, predictor)
+        return matrix

@@ -1,0 +1,179 @@
+"""The workload runner: compile once, run per dataset, cache everything."""
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.compiler import CompiledProgram, CompileOptions, compile_source
+from repro.core.cache import DiskCache, run_digest
+from repro.opt.pipeline import OptOptions
+from repro.profiling.branch_profile import BranchProfile
+from repro.vm.counters import RunResult
+from repro.vm.machine import Machine
+from repro.vm.monitors import BranchMonitor
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+#: Default on-disk cache location (override with the REPRO_CACHE_DIR
+#: environment variable; set it to empty to disable).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _default_cache_dir() -> Optional[str]:
+    value = os.environ.get("REPRO_CACHE_DIR")
+    if value is None:
+        return DEFAULT_CACHE_DIR
+    return value or None
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """Which compiler configuration a run uses.
+
+    The default is the paper's measurement configuration; ``dce`` is the
+    Table 1 variant; ``inline`` and ``if_conversion`` drive the ablation
+    experiments for the switches the paper's compiler had but kept off.
+    """
+
+    dce: bool = False
+    inline: bool = False
+    if_conversion: bool = False
+
+    def tag(self) -> str:
+        return (
+            f"dce={self.dce}|inline={self.inline}|ifconv={self.if_conversion}"
+        )
+
+    def compile_options(self) -> CompileOptions:
+        if self.dce:
+            opt = OptOptions.with_dce()
+        else:
+            opt = OptOptions.classical()
+        opt.if_conversion = self.if_conversion
+        return CompileOptions(inline=self.inline, opt=opt)
+
+
+class WorkloadRunner:
+    """Compiles and executes workloads, memoizing runs in memory and on disk."""
+
+    def __init__(self, cache_dir: Optional[str] = "auto"):
+        if cache_dir == "auto":
+            cache_dir = _default_cache_dir()
+        self._disk = DiskCache(cache_dir)
+        self._programs: Dict[Tuple[str, RunConfig], CompiledProgram] = {}
+        self._runs: Dict[Tuple[str, str, RunConfig], RunResult] = {}
+
+    @staticmethod
+    def _config(
+        dce: bool, inline: bool, if_conversion: bool,
+        config: Optional[RunConfig],
+    ) -> RunConfig:
+        if config is not None:
+            return config
+        return RunConfig(dce=dce, inline=inline, if_conversion=if_conversion)
+
+    # -- compilation ----------------------------------------------------------
+
+    def compiled(
+        self,
+        workload_name: str,
+        dce: bool = False,
+        inline: bool = False,
+        if_conversion: bool = False,
+        config: Optional[RunConfig] = None,
+    ) -> CompiledProgram:
+        """The compiled program for a workload (cached per configuration)."""
+        run_config = self._config(dce, inline, if_conversion, config)
+        key = (workload_name, run_config)
+        if key not in self._programs:
+            workload = get_workload(workload_name)
+            self._programs[key] = compile_source(
+                workload.source,
+                name=workload.name,
+                options=run_config.compile_options(),
+            )
+        return self._programs[key]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        dce: bool = False,
+        inline: bool = False,
+        if_conversion: bool = False,
+        config: Optional[RunConfig] = None,
+        monitors: Sequence[BranchMonitor] = (),
+    ) -> RunResult:
+        """Run one (workload, dataset, configuration); results are cached
+        unless monitors are attached (monitors observe the live stream)."""
+        run_config = self._config(dce, inline, if_conversion, config)
+        key = (workload_name, dataset_name, run_config)
+        if monitors:
+            return self._execute(key, monitors)
+        if key not in self._runs:
+            workload = get_workload(workload_name)
+            dataset = workload.dataset(dataset_name)
+            digest = run_digest(workload.source, dataset.data, run_config.tag())
+            cached = self._disk.load(digest)
+            if cached is None:
+                cached = self._execute(key, ())
+                self._disk.store(digest, cached)
+            self._runs[key] = cached
+        return self._runs[key]
+
+    def _execute(
+        self,
+        key: Tuple[str, str, RunConfig],
+        monitors: Sequence[BranchMonitor],
+    ) -> RunResult:
+        workload_name, dataset_name, run_config = key
+        workload = get_workload(workload_name)
+        dataset = workload.dataset(dataset_name)
+        compiled = self.compiled(workload_name, config=run_config)
+        machine = Machine()
+        return machine.run(
+            compiled.lowered, input_data=dataset.data, monitors=monitors
+        )
+
+    def run_all(
+        self,
+        workload_name: str,
+        dce: bool = False,
+        inline: bool = False,
+        if_conversion: bool = False,
+        config: Optional[RunConfig] = None,
+    ) -> Dict[str, RunResult]:
+        """Run a workload on every dataset; dataset name -> result."""
+        run_config = self._config(dce, inline, if_conversion, config)
+        workload = get_workload(workload_name)
+        return {
+            name: self.run(workload_name, name, config=run_config)
+            for name in workload.dataset_names()
+        }
+
+    # -- profiles -----------------------------------------------------------------
+
+    def profile(
+        self,
+        workload_name: str,
+        dataset_name: str,
+        config: Optional[RunConfig] = None,
+    ) -> BranchProfile:
+        """The branch profile of one (workload, dataset) run."""
+        return BranchProfile.from_run(
+            self.run(workload_name, dataset_name, config=config)
+        )
+
+    def profiles(self, workload_name: str) -> Dict[str, BranchProfile]:
+        """Branch profiles for every dataset of a workload."""
+        return {
+            name: BranchProfile.from_run(result)
+            for name, result in self.run_all(workload_name).items()
+        }
+
+    def workload(self, workload_name: str) -> Workload:
+        """Convenience pass-through to the registry."""
+        return get_workload(workload_name)

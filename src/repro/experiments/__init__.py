@@ -1,0 +1,31 @@
+"""Reproductions of every table and figure in the paper's evaluation,
+plus the informal observations and the extension experiments."""
+from repro.experiments import (  # noqa: F401
+    ablations,
+    coverage,
+    figure1,
+    figure2,
+    figure3,
+    informal,
+    overview,
+    runlengths,
+    scaling,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ablations",
+    "coverage",
+    "figure1",
+    "figure2",
+    "figure3",
+    "informal",
+    "overview",
+    "runlengths",
+    "scaling",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,59 @@
+"""ASCII bar charts for the figure experiments.
+
+The paper's figures are paired-bar charts (black/white bars per dataset);
+these render the same shape in monospace text, with a log-ish scale option
+because instructions-per-break spans two orders of magnitude.
+"""
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+#: (label, black value, white value)
+BarPair = Tuple[str, float, Optional[float]]
+
+
+def _scale(value: float, best: float, width: int, log: bool) -> int:
+    if value <= 0:
+        return 0
+    if log:
+        top = math.log10(best + 1.0)
+        return max(1, round(width * math.log10(value + 1.0) / top))
+    return max(1, round(width * value / best))
+
+
+def ascii_bars(
+    title: str,
+    bars: Sequence[BarPair],
+    black_legend: str = "black",
+    white_legend: str = "white",
+    width: int = 46,
+    log: bool = True,
+) -> str:
+    """Render paired horizontal bars.
+
+    ``#`` is the black bar, ``-`` the white bar (when present).  A ``log``
+    scale keeps fpppp-sized outliers from flattening everything else,
+    mirroring how the paper's figures read.
+    """
+    if not bars:
+        return title
+    label_width = max(len(label) for label, _, _ in bars)
+    best = max(
+        max(black, white if white is not None else 0.0)
+        for _, black, white in bars
+    )
+    lines: List[str] = [title, "=" * len(title)]
+    lines.append(
+        f"{'':{label_width}}  # = {black_legend}"
+        + (f", - = {white_legend}" if any(w is not None for _, _, w in bars)
+           else "")
+        + (" (log scale)" if log else "")
+    )
+    for label, black, white in bars:
+        black_bar = "#" * _scale(black, best, width, log)
+        lines.append(f"{label:>{label_width}}  {black_bar} {black:.1f}")
+        if white is not None:
+            white_bar = "-" * _scale(white, best, width, log)
+            lines.append(f"{'':{label_width}}  {white_bar} {white:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Machine-readable export of every experiment result.
+
+Downstream users (plotting scripts, regression dashboards) get one JSON
+document containing all tables, figures and observations, keyed the same
+way EXPERIMENTS.md is organized.
+"""
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.core.runner import WorkloadRunner
+from repro.experiments import (
+    ablations,
+    coverage,
+    figure1,
+    figure2,
+    figure3,
+    informal,
+    runlengths,
+    scaling,
+    table1,
+    table2,
+    table3,
+)
+
+
+def _plain(value):
+    """Recursively convert dataclasses/containers to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _plain(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
+def collect(runner: Optional[WorkloadRunner] = None) -> dict:
+    """Run every experiment and return one JSON-compatible document."""
+    if runner is None:
+        runner = WorkloadRunner()
+    return {
+        "table1": _plain(table1.run(runner)),
+        "table2": _plain(table2.run(runner)),
+        "table3": _plain(table3.run(runner)),
+        "figure1": _plain(figure1.run(runner)),
+        "figure2": _plain(figure2.run(runner)),
+        "figure3": _plain(figure3.run(runner)),
+        "informal": {
+            "combine_modes": _plain(informal.combine_modes(runner)),
+            "heuristics": _plain(informal.heuristics(runner)),
+            "percent_taken": _plain(informal.percent_taken(runner)),
+            "compress_cross": _plain(informal.compress_cross(runner)),
+            "wrong_measure": _plain(informal.wrong_measure(runner)),
+        },
+        "runlengths": _plain(runlengths.run(runner)),
+        "scaling": _plain(scaling.run(runner)),
+        "coverage": _plain(coverage.run(runner)),
+        "ablations": {
+            "inlining": _plain(ablations.inlining(runner)),
+            "if_conversion": _plain(ablations.if_conversion(runner)),
+        },
+    }
+
+
+def export_json(path: str, runner: Optional[WorkloadRunner] = None) -> dict:
+    """Write the full results document to ``path``; returns it too."""
+    document = collect(runner)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+    return document

@@ -1,0 +1,97 @@
+"""Figures 2a & 2b: instructions per break when branches are predicted.
+
+Black bars: best possible prediction (each dataset predicts itself).
+White bars: the scaled sum of all other datasets predicts the target.
+Figure 2a is spice2g6 alone; Figure 2b the C/integer programs.  Breaks are
+mispredicted branches plus indirect calls and their returns.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.experiment import CrossDatasetExperiment, DatasetPrediction
+from repro.core.runner import WorkloadRunner
+from repro.experiments.report import TextTable
+from repro.workloads.base import C
+from repro.workloads.registry import all_workloads
+
+SPICE = "spice2g6"
+
+
+@dataclasses.dataclass
+class Figure2Result:
+    spice_bars: List[DatasetPrediction]   # Figure 2a
+    c_bars: List[DatasetPrediction]       # Figure 2b
+
+    def all_bars(self) -> List[DatasetPrediction]:
+        return self.spice_bars + self.c_bars
+
+    def format_chart(self) -> str:
+        """Paired-bar ASCII rendering of both panels."""
+        from repro.experiments.charts import ascii_bars
+
+        panels = []
+        for title, bars in (
+            ("Figure 2a (chart): spice2g6, predicted", self.spice_bars),
+            ("Figure 2b (chart): C/integer, predicted", self.c_bars),
+        ):
+            panels.append(
+                ascii_bars(
+                    title,
+                    [
+                        (f"{bar.workload}/{bar.dataset}", bar.ipb_self,
+                         bar.ipb_combined)
+                        for bar in bars
+                    ],
+                    black_legend="self (best possible)",
+                    white_legend="scaled sum of others",
+                )
+            )
+        return "\n\n".join(panels)
+
+    def format_text(self) -> str:
+        sections = []
+        for title, bars in (
+            ("Figure 2a: spice2g6, instrs per break (predicted)", self.spice_bars),
+            ("Figure 2b: C/integer, instrs per break (predicted)", self.c_bars),
+        ):
+            table = TextTable(
+                title,
+                [
+                    "program", "dataset",
+                    "black (self)", "white (sum of others)", "% of best",
+                ],
+            )
+            for bar in bars:
+                table.add_row(
+                    bar.workload,
+                    bar.dataset,
+                    bar.ipb_self,
+                    bar.ipb_combined,
+                    f"{100 * bar.combined_fraction_of_self:.0f}%",
+                )
+            sections.append(table.format_text())
+        return "\n\n".join(sections)
+
+
+def run(
+    runner: Optional[WorkloadRunner] = None, mode: str = "scaled"
+) -> Figure2Result:
+    if runner is None:
+        runner = WorkloadRunner()
+    spice_bars: List[DatasetPrediction] = []
+    c_bars: List[DatasetPrediction] = []
+    for workload in all_workloads():
+        if len(workload.datasets) < 2:
+            continue
+        if workload.name == SPICE:
+            bucket = spice_bars
+        elif workload.category == C:
+            bucket = c_bars
+        else:
+            continue  # FORTRAN programs with stable datasets are Table 3
+        experiment = CrossDatasetExperiment(runner, workload.name)
+        for dataset in experiment.dataset_names():
+            bucket.append(experiment.dataset_prediction(dataset, mode=mode))
+    return Figure2Result(spice_bars=spice_bars, c_bars=c_bars)

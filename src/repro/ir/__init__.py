@@ -1,0 +1,46 @@
+"""RISC-like intermediate representation: the unit of counting in the paper.
+
+The IR has two forms: a CFG form (basic blocks of :class:`Instr`) that the
+front end produces and the optimizer transforms, and a lowered flat-tuple
+form that the virtual machine executes.
+"""
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import BasicBlock, Function, GlobalVar, IRError, Module
+from repro.ir.disasm import disassemble, disassemble_function
+from repro.ir.instructions import BranchId, Instr
+from repro.ir.lower import LoweredFunction, LoweredProgram, lower_module
+from repro.ir.opcodes import (
+    BINOP_FUNCS,
+    COMMUTATIVE_BINOPS,
+    UNOP_FUNCS,
+    BinOp,
+    Opcode,
+    UnOp,
+)
+from repro.ir.printer import format_function, format_module
+from repro.ir.validate import validate_module
+
+__all__ = [
+    "BINOP_FUNCS",
+    "COMMUTATIVE_BINOPS",
+    "disassemble",
+    "disassemble_function",
+    "UNOP_FUNCS",
+    "BasicBlock",
+    "BinOp",
+    "BranchId",
+    "Function",
+    "GlobalVar",
+    "IRBuilder",
+    "IRError",
+    "Instr",
+    "LoweredFunction",
+    "LoweredProgram",
+    "Module",
+    "Opcode",
+    "UnOp",
+    "format_function",
+    "format_module",
+    "lower_module",
+    "validate_module",
+]

@@ -1,0 +1,113 @@
+"""CFG analyses: dominators, back edges, natural-loop membership.
+
+Used by the heuristic predictors (loop/non-loop distinction) and by the
+trace-selection extension.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.cfg import Function
+
+
+def reachable_labels(func: Function) -> List[str]:
+    """Labels reachable from entry, in reverse-postorder."""
+    block_map = func.block_map()
+    entry = func.blocks[0].label
+    order: List[str] = []
+    visited: Set[str] = set()
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(block_map[label].successors()))]
+        visited.add(label)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(block_map[succ].successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(entry)
+    order.reverse()
+    return order
+
+
+def dominators(func: Function) -> Dict[str, Set[str]]:
+    """Label -> set of labels that dominate it (including itself).
+
+    Classic iterative dataflow; only reachable blocks are included.
+    """
+    order = reachable_labels(func)
+    block_map = func.block_map()
+    entry = order[0]
+    preds: Dict[str, List[str]] = {label: [] for label in order}
+    for label in order:
+        for succ in block_map[label].successors():
+            if succ in preds:
+                preds[succ].append(label)
+
+    all_labels = set(order)
+    dom: Dict[str, Set[str]] = {label: set(all_labels) for label in order}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            pred_doms = [dom[p] for p in preds[label]]
+            if pred_doms:
+                new = set.intersection(*pred_doms)
+            else:
+                new = set()
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def back_edges(func: Function) -> Set[Tuple[str, str]]:
+    """(source, header) pairs where the edge target dominates the source —
+    the back edges of natural loops."""
+    dom = dominators(func)
+    block_map = func.block_map()
+    edges: Set[Tuple[str, str]] = set()
+    for label in dom:
+        for succ in block_map[label].successors():
+            if succ in dom.get(label, set()):
+                edges.add((label, succ))
+    return edges
+
+
+def loop_headers(func: Function) -> Set[str]:
+    """Labels that are natural-loop headers."""
+    return {header for _, header in back_edges(func)}
+
+
+def natural_loop_blocks(func: Function) -> Set[str]:
+    """All labels that belong to some natural loop body."""
+    block_map = func.block_map()
+    preds: Dict[str, List[str]] = {block.label: [] for block in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            preds[succ].append(block.label)
+
+    members: Set[str] = set()
+    for source, header in back_edges(func):
+        loop = {header, source}
+        worklist = [source]
+        while worklist:
+            label = worklist.pop()
+            for pred in preds[label]:
+                if pred not in loop:
+                    loop.add(pred)
+                    worklist.append(pred)
+        members |= loop
+    return members

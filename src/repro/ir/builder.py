@@ -1,0 +1,176 @@
+"""A convenience builder for constructing CFG-form IR.
+
+Used by the language code generator and by tests that construct IR directly.
+"""
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.cfg import BasicBlock, Function, IRError
+from repro.ir.instructions import BranchId, Instr
+from repro.ir.opcodes import BinOp, Opcode, UnOp
+
+
+class IRBuilder:
+    """Builds instructions into the blocks of a single function.
+
+    The builder tracks a current insertion block; emitting a terminator
+    closes the block (subsequent emission into it is an error, which catches
+    code-generator mistakes early).
+    """
+
+    def __init__(self, func: Function):
+        self.func = func
+        self._block: Optional[BasicBlock] = None
+        self._label_counter = 0
+        self._branch_counter = 0
+
+    # -- block management --------------------------------------------------
+
+    def new_label(self, hint: str = "bb") -> str:
+        """Generate a fresh, unique block label."""
+        self._label_counter += 1
+        return f"{hint}.{self._label_counter}"
+
+    def add_block(self, label: Optional[str] = None) -> BasicBlock:
+        """Create a block, append it to the function, and return it."""
+        block = BasicBlock(label or self.new_label())
+        self.func.blocks.append(block)
+        return block
+
+    def set_block(self, block: BasicBlock) -> None:
+        """Set the insertion point."""
+        self._block = block
+
+    @property
+    def block(self) -> BasicBlock:
+        """The current insertion block."""
+        if self._block is None:
+            raise IRError("no insertion block set")
+        return self._block
+
+    def block_terminated(self) -> bool:
+        """Whether the current block already ends in a terminator."""
+        return self.block.terminator is not None
+
+    def _emit(self, instr: Instr) -> Instr:
+        if self.block_terminated():
+            raise IRError(
+                f"emitting into terminated block {self.block.label!r} "
+                f"of {self.func.name!r}"
+            )
+        self.block.instrs.append(instr)
+        return instr
+
+    # -- register allocation ------------------------------------------------
+
+    def new_reg(self) -> int:
+        """Allocate a fresh virtual register."""
+        return self.func.new_reg()
+
+    # -- straight-line instructions ------------------------------------------
+
+    def const(self, value: int, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.CONST, dst=dst, imm=value))
+        return dst
+
+    def mov(self, src: int, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.MOV, dst=dst, a=src))
+        return dst
+
+    def addr(self, symbol: str, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.ADDR, dst=dst, symbol=symbol))
+        return dst
+
+    def funcaddr(self, symbol: str, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.FUNCADDR, dst=dst, symbol=symbol))
+        return dst
+
+    def bin(self, op: BinOp, a: int, b: int, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.BIN, dst=dst, a=a, b=b, subop=int(op)))
+        return dst
+
+    def un(self, op: UnOp, a: int, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.UN, dst=dst, a=a, subop=int(op)))
+        return dst
+
+    def select(self, cond: int, a: int, b: int, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.SELECT, dst=dst, a=cond, b=a, c=b))
+        return dst
+
+    def load(self, addr: int, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.LOAD, dst=dst, a=addr))
+        return dst
+
+    def store(self, addr: int, value: int) -> None:
+        self._emit(Instr(Opcode.STORE, a=addr, b=value))
+
+    def getc(self, dst: Optional[int] = None) -> int:
+        dst = self.new_reg() if dst is None else dst
+        self._emit(Instr(Opcode.GETC, dst=dst))
+        return dst
+
+    def putc(self, src: int) -> None:
+        self._emit(Instr(Opcode.PUTC, a=src))
+
+    def call(
+        self, symbol: str, args: Sequence[int], dst: Optional[int] = None
+    ) -> Optional[int]:
+        self._emit(Instr(Opcode.CALL, dst=dst, symbol=symbol, args=tuple(args)))
+        return dst
+
+    def icall(
+        self, callee: int, args: Sequence[int], dst: Optional[int] = None
+    ) -> Optional[int]:
+        self._emit(Instr(Opcode.ICALL, dst=dst, a=callee, args=tuple(args)))
+        return dst
+
+    # -- terminators ----------------------------------------------------------
+
+    def next_branch_id(self) -> BranchId:
+        """Allocate the next source-order branch identity for this function."""
+        branch_id = BranchId(self.func.name, self._branch_counter)
+        self._branch_counter += 1
+        return branch_id
+
+    def br(
+        self,
+        cond: int,
+        then_label: str,
+        else_label: str,
+        branch_id: Optional[BranchId] = None,
+    ) -> Instr:
+        """Emit a conditional branch.
+
+        A fresh source-order :class:`BranchId` is allocated unless one is
+        supplied (optimization passes that re-emit a branch must preserve
+        its original identity).
+        """
+        if branch_id is None:
+            branch_id = self.next_branch_id()
+        return self._emit(
+            Instr(
+                Opcode.BR,
+                a=cond,
+                then_label=then_label,
+                else_label=else_label,
+                branch_id=branch_id,
+            )
+        )
+
+    def jmp(self, label: str) -> Instr:
+        return self._emit(Instr(Opcode.JMP, then_label=label))
+
+    def ret(self, value: Optional[int] = None) -> Instr:
+        return self._emit(Instr(Opcode.RET, a=value))
+
+    def halt(self) -> Instr:
+        return self._emit(Instr(Opcode.HALT))

@@ -1,0 +1,90 @@
+"""Disassembler for lowered (executable) programs.
+
+Prints the flat tuple code the VM runs, with resolved branch targets and
+branch identities — the view MFPixie-style tooling works at.
+"""
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.lower import LoweredFunction, LoweredProgram
+from repro.ir.opcodes import BinOp, Opcode, UnOp
+
+
+def _format_ins(program: LoweredProgram, ins: tuple) -> str:
+    op = Opcode(ins[0])
+    if op == Opcode.CONST:
+        return f"const   r{ins[1]}, {ins[2]}"
+    if op == Opcode.MOV:
+        return f"mov     r{ins[1]}, r{ins[2]}"
+    if op == Opcode.BIN:
+        name = BinOp(ins[1]).name.lower()
+        return f"{name:7s} r{ins[2]}, r{ins[3]}, r{ins[4]}"
+    if op == Opcode.UN:
+        name = UnOp(ins[1]).name.lower()
+        return f"{name:7s} r{ins[2]}, r{ins[3]}"
+    if op == Opcode.SELECT:
+        return f"select  r{ins[1]}, r{ins[2]} ? r{ins[3]} : r{ins[4]}"
+    if op == Opcode.LOAD:
+        return f"load    r{ins[1]}, [r{ins[2]}]"
+    if op == Opcode.STORE:
+        return f"store   [r{ins[1]}], r{ins[2]}"
+    if op == Opcode.GETC:
+        return f"getc    r{ins[1]}"
+    if op == Opcode.PUTC:
+        return f"putc    r{ins[1]}"
+    if op == Opcode.CALL:
+        callee = program.functions[ins[1]].name
+        args = ", ".join(f"r{reg}" for reg in ins[3])
+        dst = f"r{ins[2]}" if ins[2] != -1 else "_"
+        return f"call    {dst} = {callee}({args})"
+    if op == Opcode.ICALL:
+        args = ", ".join(f"r{reg}" for reg in ins[3])
+        dst = f"r{ins[2]}" if ins[2] != -1 else "_"
+        return f"icall   {dst} = (*r{ins[1]})({args})"
+    if op == Opcode.BR:
+        branch_id = program.branch_table[ins[4]]
+        return f"br      r{ins[1]} ? @{ins[2]} : @{ins[3]}    ; {branch_id}"
+    if op == Opcode.JMP:
+        return f"jmp     @{ins[1]}"
+    if op == Opcode.RET:
+        return f"ret     r{ins[1]}" if ins[1] != -1 else "ret"
+    if op == Opcode.HALT:
+        return "halt"
+    return repr(ins)  # pragma: no cover
+
+
+def disassemble_function(
+    program: LoweredProgram, func: LoweredFunction
+) -> str:
+    """One function's code with pc-prefixed lines."""
+    lines: List[str] = [
+        f"func {func.name} (params={func.num_params}, regs={func.num_regs}):"
+    ]
+    # Mark branch/jump targets so the listing is navigable.
+    targets = set()
+    for ins in func.code:
+        op = ins[0]
+        if op == int(Opcode.BR):
+            targets.update((ins[2], ins[3]))
+        elif op == int(Opcode.JMP):
+            targets.add(ins[1])
+    for pc, ins in enumerate(func.code):
+        marker = "@" if pc in targets else " "
+        lines.append(f"  {marker}{pc:5d}  {_format_ins(program, ins)}")
+    return "\n".join(lines)
+
+
+def disassemble(program: LoweredProgram) -> str:
+    """The whole program: memory map plus every function."""
+    lines: List[str] = [
+        f"program {program.name}: {len(program.functions)} functions, "
+        f"{program.memory_size} memory words, "
+        f"{len(program.branch_table)} static branches"
+    ]
+    for symbol, address in sorted(program.symbols.items(), key=lambda kv: kv[1]):
+        lines.append(f"  .data {symbol} @ {address}")
+    for func in program.functions:
+        lines.append("")
+        lines.append(disassemble_function(program, func))
+    return "\n".join(lines)

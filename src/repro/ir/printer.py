@@ -1,0 +1,30 @@
+"""Textual IR dumping, for debugging and golden tests."""
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import Function, Module
+
+
+def format_function(func: Function) -> str:
+    """Render one function as text."""
+    lines: List[str] = [
+        f"func {func.name}(params={func.num_params}, regs={func.num_regs}):"
+    ]
+    for block in func.blocks:
+        lines.append(f"  {block.label}:")
+        for instr in block.instrs:
+            lines.append(f"    {instr}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module as text."""
+    lines: List[str] = [f"module {module.name}"]
+    for var in module.globals:
+        init = f" = {list(var.init)}" if var.init else ""
+        lines.append(f"  global {var.name}[{var.size}]{init}")
+    for func in module.functions:
+        lines.append("")
+        lines.append(format_function(func))
+    return "\n".join(lines)

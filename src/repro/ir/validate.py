@@ -1,0 +1,94 @@
+"""IR validation: catches malformed modules before they reach the VM."""
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import Function, IRError, Module
+from repro.ir.opcodes import BinOp, Opcode, UnOp
+
+
+def validate_module(module: Module) -> None:
+    """Validate a whole module; raises :class:`IRError` on the first problem."""
+    global_names = set()
+    for var in module.globals:
+        if var.name in global_names:
+            raise IRError(f"duplicate global {var.name!r}")
+        global_names.add(var.name)
+
+    function_names = set()
+    for func in module.functions:
+        if func.name in function_names:
+            raise IRError(f"duplicate function {func.name!r}")
+        function_names.add(func.name)
+
+    if not module.has_function("main"):
+        raise IRError(f"module {module.name!r} has no 'main' function")
+
+    for func in module.functions:
+        _validate_function(module, func, global_names, function_names)
+
+
+def _validate_function(
+    module: Module, func: Function, global_names: set, function_names: set
+) -> None:
+    if not func.blocks:
+        raise IRError(f"function {func.name!r} has no blocks")
+    if func.num_params > func.num_regs:
+        raise IRError(
+            f"function {func.name!r}: {func.num_params} params but only "
+            f"{func.num_regs} registers"
+        )
+
+    labels = func.block_map()  # raises on duplicates
+    seen_branch_ids = set()
+
+    for block in func.blocks:
+        where = f"{func.name}/{block.label}"
+        if block.terminator is None:
+            raise IRError(f"{where}: block does not end in a terminator")
+        for position, instr in enumerate(block.instrs):
+            if instr.is_terminator() and position != len(block.instrs) - 1:
+                raise IRError(f"{where}: terminator not at end of block")
+            _validate_registers(func, where, instr)
+            if instr.op == Opcode.BIN:
+                BinOp(instr.subop)
+            elif instr.op == Opcode.UN:
+                UnOp(instr.subop)
+            elif instr.op == Opcode.ADDR:
+                if instr.symbol not in global_names:
+                    raise IRError(f"{where}: unknown global {instr.symbol!r}")
+            elif instr.op in (Opcode.FUNCADDR, Opcode.CALL):
+                if instr.symbol not in function_names:
+                    raise IRError(f"{where}: unknown function {instr.symbol!r}")
+                if instr.op == Opcode.CALL:
+                    callee = module.function(instr.symbol)
+                    if len(instr.args) != callee.num_params:
+                        raise IRError(
+                            f"{where}: call to {instr.symbol!r} with "
+                            f"{len(instr.args)} args, expects {callee.num_params}"
+                        )
+            elif instr.op == Opcode.BR:
+                if instr.branch_id is None:
+                    raise IRError(f"{where}: conditional branch without BranchId")
+                if instr.branch_id in seen_branch_ids:
+                    raise IRError(f"{where}: duplicate BranchId {instr.branch_id}")
+                seen_branch_ids.add(instr.branch_id)
+                if instr.branch_id.function != func.name:
+                    raise IRError(
+                        f"{where}: BranchId {instr.branch_id} names another function"
+                    )
+            for succ in instr.successors():
+                if succ not in labels:
+                    raise IRError(f"{where}: branch to unknown block {succ!r}")
+
+
+def _validate_registers(func: Function, where: str, instr) -> None:
+    regs: List[int] = list(instr.uses())
+    if instr.dst is not None:
+        regs.append(instr.dst)
+    for reg in regs:
+        if not (0 <= reg < func.num_regs):
+            raise IRError(
+                f"{where}: register r{reg} out of range "
+                f"(function has {func.num_regs})"
+            )

@@ -1,0 +1,28 @@
+"""The MF language front end: lexer, parser, semantic analysis, codegen."""
+from repro.lang.ast_nodes import ProgramAST
+from repro.lang.codegen import generate_module
+from repro.lang.directives import (
+    apply_feedback,
+    format_directives,
+    parse_directives,
+    strip_feedback,
+)
+from repro.lang.errors import LangError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_source
+from repro.lang.sema import BUILTINS, SemaInfo, analyze
+
+__all__ = [
+    "BUILTINS",
+    "LangError",
+    "ProgramAST",
+    "SemaInfo",
+    "analyze",
+    "apply_feedback",
+    "format_directives",
+    "generate_module",
+    "parse_directives",
+    "parse_source",
+    "strip_feedback",
+    "tokenize",
+]

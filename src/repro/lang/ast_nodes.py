@@ -1,0 +1,212 @@
+"""AST node definitions for the MF language."""
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass
+class Node:
+    """Base class carrying a source line for error messages."""
+
+    line: int
+
+
+# -- expressions ------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclasses.dataclass
+class Name(Node):
+    """A bare identifier (variable reference)."""
+
+    ident: str
+
+
+@dataclasses.dataclass
+class FuncRef(Node):
+    """``&f`` — the address of a function, used for indirect calls."""
+
+    ident: str
+
+
+@dataclasses.dataclass
+class Index(Node):
+    """``a[i]`` — element of a global array."""
+
+    array: str
+    index: "Expr"
+
+
+@dataclasses.dataclass
+class Unary(Node):
+    """``-x``, ``!x`` or ``~x``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclasses.dataclass
+class Binary(Node):
+    """Any binary operator, including short-circuit ``&&`` and ``||``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclasses.dataclass
+class Call(Node):
+    """Direct call ``f(a, b)`` or builtin call (``getc``, ``putc``)."""
+
+    func: str
+    args: List["Expr"]
+
+
+@dataclasses.dataclass
+class IndirectCall(Node):
+    """Call through a computed value: ``v(a, b)`` or ``table[i](a)``."""
+
+    callee: "Expr"
+    args: List["Expr"]
+
+
+Expr = (IntLit, Name, FuncRef, Index, Unary, Binary, Call, IndirectCall)
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class VarDecl(Node):
+    """``var x;`` / ``var x = e;`` — local (in a function) or global scalar."""
+
+    ident: str
+    init: Optional["Expr"]
+    const_init: Optional[int] = None  # used for globals (must be constant)
+
+
+@dataclasses.dataclass
+class Assign(Node):
+    """``lvalue op= expr`` where op= is ``=``, ``+=``, ...; lvalue is a
+    name or array element."""
+
+    target: "Expr"  # Name or Index
+    op: str  # "=", "+=", ...
+    value: "Expr"
+
+
+@dataclasses.dataclass
+class ExprStmt(Node):
+    """An expression evaluated for effect (a call)."""
+
+    expr: "Expr"
+
+
+@dataclasses.dataclass
+class If(Node):
+    cond: "Expr"
+    then_body: List["Stmt"]
+    else_body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class While(Node):
+    cond: "Expr"
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class DoWhile(Node):
+    body: List["Stmt"]
+    cond: "Expr"
+
+
+@dataclasses.dataclass
+class For(Node):
+    init: Optional["Stmt"]
+    cond: Optional["Expr"]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class SwitchArm(Node):
+    """One ``case N:`` (value set) or ``default:`` arm; C-style fallthrough."""
+
+    values: Optional[List[int]]  # None for default
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class Switch(Node):
+    scrutinee: "Expr"
+    arms: List[SwitchArm]
+
+
+@dataclasses.dataclass
+class Break(Node):
+    pass
+
+
+@dataclasses.dataclass
+class Continue(Node):
+    pass
+
+
+@dataclasses.dataclass
+class Return(Node):
+    value: Optional["Expr"]
+
+
+@dataclasses.dataclass
+class Halt(Node):
+    """``halt;`` — stop the machine immediately."""
+
+
+Stmt = (
+    VarDecl,
+    Assign,
+    ExprStmt,
+    If,
+    While,
+    DoWhile,
+    For,
+    Switch,
+    Break,
+    Continue,
+    Return,
+    Halt,
+)
+
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ArrDecl(Node):
+    """``arr a[N];`` / ``arr a[N] = {…};`` — a global array."""
+
+    ident: str
+    size: int
+    init: Tuple[int, ...]
+
+
+@dataclasses.dataclass
+class FuncDecl(Node):
+    ident: str
+    params: List[str]
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class ProgramAST(Node):
+    """A whole source file."""
+
+    globals: List[Node]  # VarDecl (with const_init) and ArrDecl
+    functions: List[FuncDecl]
+    directives: List[str]

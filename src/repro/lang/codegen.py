@@ -1,0 +1,533 @@
+"""Code generation: MF AST -> CFG-form IR.
+
+Lowering decisions that matter to the experiments (they determine where
+conditional branches appear, which is what the paper measures):
+
+* ``&&`` and ``||`` short-circuit, so each operand test becomes its own
+  conditional branch with its own :class:`BranchId` — like the C compilers
+  of the paper's era.
+* ``switch`` is lowered to a *cascade* of conditional branches, one per case
+  value, exactly as the paper describes its compiler doing ("our compiler
+  turns these into a set of linear or cascaded conditional branches").
+* Simple two-armed ``if`` statements that assign the same local variable are
+  converted to a branchless ``select`` operation (paper footnote 2: the Trace
+  front ends did this, suppressing a few branches).  Only trap-free operand
+  expressions (no division, no memory access, no calls) are converted.
+* ``!`` in a branch condition flips the branch rather than materializing a
+  value; constant conditions (``while (1)``) emit no branch at all.
+
+Branch identities are allocated in emission order within each function,
+which is deterministic and source-driven; they are the stable keys the
+profile database uses across compilations, like the paper's IFPROBBER.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import Function, GlobalVar, Module
+from repro.ir.opcodes import BinOp, UnOp
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import LangError
+from repro.lang.sema import BUILTINS, SemaInfo, analyze
+
+_BINOP_MAP = {
+    "+": BinOp.ADD,
+    "-": BinOp.SUB,
+    "*": BinOp.MUL,
+    "/": BinOp.DIV,
+    "%": BinOp.MOD,
+    "&": BinOp.AND,
+    "|": BinOp.OR,
+    "^": BinOp.XOR,
+    "<<": BinOp.SHL,
+    ">>": BinOp.SHR,
+    "==": BinOp.EQ,
+    "!=": BinOp.NE,
+    "<": BinOp.LT,
+    "<=": BinOp.LE,
+    ">": BinOp.GT,
+    ">=": BinOp.GE,
+}
+
+_COMPOUND_OPS = {
+    "+=": BinOp.ADD,
+    "-=": BinOp.SUB,
+    "*=": BinOp.MUL,
+    "/=": BinOp.DIV,
+    "%=": BinOp.MOD,
+    "&=": BinOp.AND,
+    "|=": BinOp.OR,
+    "^=": BinOp.XOR,
+    "<<=": BinOp.SHL,
+    ">>=": BinOp.SHR,
+}
+
+#: Binary operators safe to evaluate unconditionally (select conversion).
+_TRAP_FREE_BINOPS = frozenset(_BINOP_MAP) - {"/", "%"}
+
+
+def generate_module(
+    program: ast.ProgramAST,
+    name: str,
+    info: Optional[SemaInfo] = None,
+    enable_select: bool = True,
+) -> Module:
+    """Generate a :class:`Module` from an analyzed program AST."""
+    if info is None:
+        info = analyze(program)
+    module = Module(name=name)
+    for decl in program.globals:
+        if isinstance(decl, ast.VarDecl):
+            init = (decl.const_init,) if decl.const_init else ()
+            module.globals.append(GlobalVar(decl.ident, 1, init))
+        else:
+            module.globals.append(GlobalVar(decl.ident, decl.size, decl.init))
+    for func in program.functions:
+        generator = _FunctionGen(func, info, enable_select)
+        module.functions.append(generator.run())
+    return module
+
+
+class _LoopContext:
+    """Break/continue targets for one enclosing loop or switch."""
+
+    def __init__(self, break_label: str, continue_label: Optional[str]):
+        self.break_label = break_label
+        self.continue_label = continue_label  # None for switches
+
+
+class _FunctionGen:
+    def __init__(self, decl: ast.FuncDecl, info: SemaInfo, enable_select: bool):
+        self.decl = decl
+        self.info = info
+        self.enable_select = enable_select
+        local_names = info.locals_by_function[decl.ident]
+        self.func = Function(
+            name=decl.ident,
+            num_params=len(decl.params),
+            num_regs=len(local_names),
+        )
+        self.builder = IRBuilder(self.func)
+        self.local_regs: Dict[str, int] = {
+            name: reg for reg, name in enumerate(local_names)
+        }
+        self.loop_stack: List[_LoopContext] = []
+
+    def error(self, message: str, node: ast.Node) -> LangError:
+        return LangError(f"in {self.decl.ident!r}: {message}", node.line)
+
+    def run(self) -> Function:
+        entry = self.builder.add_block("entry")
+        self.builder.set_block(entry)
+        self.gen_stmts(self.decl.body)
+        if not self.builder.block_terminated():
+            self.builder.ret(None)
+        return self.func
+
+    # -- statements ----------------------------------------------------------
+
+    def gen_stmts(self, stmts: List[ast.Node]) -> None:
+        for stmt in stmts:
+            if self.builder.block_terminated():
+                # Unreachable code after return/break/...: keep generating
+                # into a fresh block so branch IDs stay stable; the optimizer
+                # removes it.
+                dead = self.builder.add_block(self.builder.new_label("dead"))
+                self.builder.set_block(dead)
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: ast.Node) -> None:
+        builder = self.builder
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                value = self.gen_expr(stmt.init)
+                builder.mov(value, dst=self.local_regs[stmt.ident])
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_expr_for_effect(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self.gen_switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            builder.jmp(self.loop_stack[-1].break_label)
+        elif isinstance(stmt, ast.Continue):
+            target = next(
+                ctx.continue_label
+                for ctx in reversed(self.loop_stack)
+                if ctx.continue_label is not None
+            )
+            builder.jmp(target)
+        elif isinstance(stmt, ast.Return):
+            value = None if stmt.value is None else self.gen_expr(stmt.value)
+            builder.ret(value)
+        elif isinstance(stmt, ast.Halt):
+            builder.halt()
+        else:  # pragma: no cover - sema admits only known nodes
+            raise self.error(f"cannot generate {type(stmt).__name__}", stmt)
+
+    def gen_assign(self, stmt: ast.Assign) -> None:
+        builder = self.builder
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            name = target.ident
+            if name in self.local_regs:
+                dst = self.local_regs[name]
+                if stmt.op == "=":
+                    value = self.gen_expr(stmt.value)
+                    builder.mov(value, dst=dst)
+                else:
+                    value = self.gen_expr(stmt.value)
+                    builder.bin(_COMPOUND_OPS[stmt.op], dst, value, dst=dst)
+            else:  # global scalar
+                addr = builder.addr(name)
+                if stmt.op == "=":
+                    value = self.gen_expr(stmt.value)
+                else:
+                    old = builder.load(addr)
+                    rhs = self.gen_expr(stmt.value)
+                    value = builder.bin(_COMPOUND_OPS[stmt.op], old, rhs)
+                builder.store(addr, value)
+        else:  # array element
+            base = builder.addr(target.array)
+            index = self.gen_expr(target.index)
+            addr = builder.bin(BinOp.ADD, base, index)
+            if stmt.op == "=":
+                value = self.gen_expr(stmt.value)
+            else:
+                old = builder.load(addr)
+                rhs = self.gen_expr(stmt.value)
+                value = builder.bin(_COMPOUND_OPS[stmt.op], old, rhs)
+            builder.store(addr, value)
+
+    def gen_if(self, stmt: ast.If) -> None:
+        if self.enable_select and self._try_select(stmt):
+            return
+        builder = self.builder
+        then_block = builder.add_block(builder.new_label("then"))
+        join_label = builder.new_label("join")
+        if stmt.else_body:
+            else_block = builder.add_block(builder.new_label("else"))
+            self.gen_cond(stmt.cond, then_block.label, else_block.label)
+        else:
+            self.gen_cond(stmt.cond, then_block.label, join_label)
+        builder.set_block(then_block)
+        self.gen_stmts(stmt.then_body)
+        then_done = builder.block_terminated()
+        if not then_done:
+            builder.jmp(join_label)
+        if stmt.else_body:
+            builder.set_block(else_block)
+            self.gen_stmts(stmt.else_body)
+            if not builder.block_terminated():
+                builder.jmp(join_label)
+        join_block = builder.add_block(join_label)
+        builder.set_block(join_block)
+
+    def _try_select(self, stmt: ast.If) -> bool:
+        """Convert ``if (c) x = e1; [else x = e2;]`` to a ``select``.
+
+        Returns True when the conversion applied.  Both arms must assign the
+        same *local* scalar with ``=`` and both value expressions must be
+        trap-free (evaluating the unchosen side must be safe): no calls, no
+        memory or I/O access, no division.
+        """
+        then_assign = self._sole_local_assign(stmt.then_body)
+        if then_assign is None:
+            return False
+        if stmt.else_body:
+            else_assign = self._sole_local_assign(stmt.else_body)
+            if else_assign is None:
+                return False
+            if else_assign.target.ident != then_assign.target.ident:
+                return False
+            else_value: Optional[ast.Node] = else_assign.value
+        else:
+            else_value = None
+        if not _selectable(then_assign.value, self.local_regs):
+            return False
+        if else_value is not None and not _selectable(else_value, self.local_regs):
+            return False
+        builder = self.builder
+        cond = self.gen_expr(stmt.cond)
+        true_value = self.gen_expr(then_assign.value)
+        dst = self.local_regs[then_assign.target.ident]
+        false_value = dst if else_value is None else self.gen_expr(else_value)
+        result = builder.select(cond, true_value, false_value)
+        builder.mov(result, dst=dst)
+        return True
+
+    def _sole_local_assign(self, body: List[ast.Node]) -> Optional[ast.Assign]:
+        if len(body) != 1:
+            return None
+        stmt = body[0]
+        if not isinstance(stmt, ast.Assign) or stmt.op != "=":
+            return None
+        if not isinstance(stmt.target, ast.Name):
+            return None
+        if stmt.target.ident not in self.local_regs:
+            return None
+        return stmt
+
+    def gen_while(self, stmt: ast.While) -> None:
+        builder = self.builder
+        head = builder.add_block(builder.new_label("while.head"))
+        builder.jmp(head.label)
+        builder.set_block(head)
+        body_label = builder.new_label("while.body")
+        end_label = builder.new_label("while.end")
+        body_block = builder.add_block(body_label)
+        # Condition is evaluated in the head block (backedge returns here).
+        builder.set_block(head)
+        self.gen_cond(stmt.cond, body_label, end_label)
+        builder.set_block(body_block)
+        self.loop_stack.append(_LoopContext(end_label, head.label))
+        self.gen_stmts(stmt.body)
+        self.loop_stack.pop()
+        if not builder.block_terminated():
+            builder.jmp(head.label)
+        end_block = builder.add_block(end_label)
+        builder.set_block(end_block)
+
+    def gen_do_while(self, stmt: ast.DoWhile) -> None:
+        builder = self.builder
+        body_block = builder.add_block(builder.new_label("do.body"))
+        builder.jmp(body_block.label)
+        builder.set_block(body_block)
+        cond_label = builder.new_label("do.cond")
+        end_label = builder.new_label("do.end")
+        self.loop_stack.append(_LoopContext(end_label, cond_label))
+        self.gen_stmts(stmt.body)
+        self.loop_stack.pop()
+        if not builder.block_terminated():
+            builder.jmp(cond_label)
+        cond_block = builder.add_block(cond_label)
+        builder.set_block(cond_block)
+        self.gen_cond(stmt.cond, body_block.label, end_label)
+        end_block = builder.add_block(end_label)
+        builder.set_block(end_block)
+
+    def gen_for(self, stmt: ast.For) -> None:
+        builder = self.builder
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        head = builder.add_block(builder.new_label("for.head"))
+        builder.jmp(head.label)
+        body_label = builder.new_label("for.body")
+        step_label = builder.new_label("for.step")
+        end_label = builder.new_label("for.end")
+        builder.set_block(head)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, end_label)
+        else:
+            builder.jmp(body_label)
+        body_block = builder.add_block(body_label)
+        builder.set_block(body_block)
+        self.loop_stack.append(_LoopContext(end_label, step_label))
+        self.gen_stmts(stmt.body)
+        self.loop_stack.pop()
+        if not builder.block_terminated():
+            builder.jmp(step_label)
+        step_block = builder.add_block(step_label)
+        builder.set_block(step_block)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        builder.jmp(head.label)
+        end_block = builder.add_block(end_label)
+        builder.set_block(end_block)
+
+    def gen_switch(self, stmt: ast.Switch) -> None:
+        """Lower to a cascade of equality tests, preserving fallthrough."""
+        builder = self.builder
+        scrutinee = self.gen_expr(stmt.scrutinee)
+        # Keep the scrutinee in a dedicated temp so arm bodies cannot
+        # disturb it (tests all execute before any body runs, but the
+        # register could alias a local).
+        scrutinee = builder.mov(scrutinee)
+        end_label = builder.new_label("switch.end")
+
+        body_labels = [builder.new_label("switch.arm") for _ in stmt.arms]
+        default_label = end_label
+        for arm, label in zip(stmt.arms, body_labels):
+            if arm.values is None:
+                default_label = label
+
+        # Test cascade: one conditional branch per case value.
+        for arm, label in zip(stmt.arms, body_labels):
+            if arm.values is None:
+                continue
+            for value in arm.values:
+                const = builder.const(value)
+                test = builder.bin(BinOp.EQ, scrutinee, const)
+                next_label = builder.new_label("switch.test")
+                builder.br(test, label, next_label)
+                next_block = builder.add_block(next_label)
+                builder.set_block(next_block)
+        builder.jmp(default_label)
+
+        # Arm bodies, in source order, with fallthrough.
+        self.loop_stack.append(_LoopContext(end_label, None))
+        for position, (arm, label) in enumerate(zip(stmt.arms, body_labels)):
+            block = builder.add_block(label)
+            builder.set_block(block)
+            self.gen_stmts(arm.body)
+            if not builder.block_terminated():
+                if position + 1 < len(stmt.arms):
+                    builder.jmp(body_labels[position + 1])
+                else:
+                    builder.jmp(end_label)
+        self.loop_stack.pop()
+        end_block = builder.add_block(end_label)
+        builder.set_block(end_block)
+
+    # -- conditions --------------------------------------------------------
+
+    def gen_cond(self, expr: ast.Node, true_label: str, false_label: str) -> None:
+        """Generate control flow for a boolean context.
+
+        Short-circuit operators expand to branch cascades; ``!`` swaps the
+        targets; integer constants become unconditional jumps.
+        """
+        builder = self.builder
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = builder.new_label("and.rhs")
+            self.gen_cond(expr.left, mid, false_label)
+            mid_block = builder.add_block(mid)
+            builder.set_block(mid_block)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = builder.new_label("or.rhs")
+            self.gen_cond(expr.left, true_label, mid)
+            mid_block = builder.add_block(mid)
+            builder.set_block(mid_block)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, ast.IntLit):
+            builder.jmp(true_label if expr.value != 0 else false_label)
+            return
+        cond = self.gen_expr(expr)
+        builder.br(cond, true_label, false_label)
+
+    # -- expressions -----------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Node) -> int:
+        """Generate code computing ``expr``; returns the result register."""
+        builder = self.builder
+        if isinstance(expr, ast.IntLit):
+            return builder.const(expr.value)
+        if isinstance(expr, ast.Name):
+            name = expr.ident
+            if name in self.local_regs:
+                return self.local_regs[name]
+            addr = builder.addr(name)
+            return builder.load(addr)
+        if isinstance(expr, ast.FuncRef):
+            return builder.funcaddr(expr.ident)
+        if isinstance(expr, ast.Index):
+            base = builder.addr(expr.array)
+            index = self.gen_expr(expr.index)
+            addr = builder.bin(BinOp.ADD, base, index)
+            return builder.load(addr)
+        if isinstance(expr, ast.Unary):
+            operand = self.gen_expr(expr.operand)
+            unop = {"-": UnOp.NEG, "!": UnOp.NOT, "~": UnOp.BNOT}[expr.op]
+            return builder.un(unop, operand)
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                return self._gen_bool_value(expr)
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+            return builder.bin(_BINOP_MAP[expr.op], left, right)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, want_value=True)
+        if isinstance(expr, ast.IndirectCall):
+            callee = self.gen_expr(expr.callee)
+            args = [self.gen_expr(arg) for arg in expr.args]
+            dst = builder.new_reg()
+            builder.icall(callee, args, dst=dst)
+            return dst
+        raise self.error(f"cannot generate {type(expr).__name__}", expr)
+
+    def gen_expr_for_effect(self, expr: ast.Node) -> None:
+        """Generate a call whose result is discarded."""
+        builder = self.builder
+        if isinstance(expr, ast.Call):
+            self._gen_call(expr, want_value=False)
+            return
+        if isinstance(expr, ast.IndirectCall):
+            callee = self.gen_expr(expr.callee)
+            args = [self.gen_expr(arg) for arg in expr.args]
+            builder.icall(callee, args, dst=None)
+            return
+        raise self.error("expression statement must be a call", expr)
+
+    def _gen_call(self, expr: ast.Call, want_value: bool) -> Optional[int]:
+        builder = self.builder
+        name = expr.func
+        if name in self.info.functions:
+            args = [self.gen_expr(arg) for arg in expr.args]
+            dst = builder.new_reg() if want_value else None
+            builder.call(name, args, dst=dst)
+            return dst
+        if name in BUILTINS:
+            if name == "getc":
+                return builder.getc()
+            # putc
+            value = self.gen_expr(expr.args[0])
+            builder.putc(value)
+            return builder.const(0) if want_value else None
+        # Indirect call through a variable's value.
+        callee = self.gen_expr(ast.Name(line=expr.line, ident=name))
+        args = [self.gen_expr(arg) for arg in expr.args]
+        dst = builder.new_reg() if want_value else None
+        builder.icall(callee, args, dst=dst)
+        return dst
+
+    def _gen_bool_value(self, expr: ast.Binary) -> int:
+        """Materialize a short-circuit expression as a 0/1 value."""
+        builder = self.builder
+        result = builder.new_reg()
+        true_label = builder.new_label("bool.true")
+        false_label = builder.new_label("bool.false")
+        join_label = builder.new_label("bool.join")
+        self.gen_cond(expr, true_label, false_label)
+        true_block = builder.add_block(true_label)
+        builder.set_block(true_block)
+        builder.const(1, dst=result)
+        builder.jmp(join_label)
+        false_block = builder.add_block(false_label)
+        builder.set_block(false_block)
+        builder.const(0, dst=result)
+        builder.jmp(join_label)
+        join_block = builder.add_block(join_label)
+        builder.set_block(join_block)
+        return result
+
+
+def _selectable(expr: ast.Node, local_regs: Dict[str, int]) -> bool:
+    """Whether an expression is safe to evaluate unconditionally."""
+    if isinstance(expr, ast.IntLit):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.ident in local_regs
+    if isinstance(expr, ast.Unary):
+        return _selectable(expr.operand, local_regs)
+    if isinstance(expr, ast.Binary):
+        return (
+            expr.op in _TRAP_FREE_BINOPS
+            and _selectable(expr.left, local_regs)
+            and _selectable(expr.right, local_regs)
+        )
+    return False

@@ -1,0 +1,87 @@
+"""IFPROB compiler directives: the profile-feedback channel.
+
+The paper's compiler accepted directives such as ``C!MF! IFPROB(32543, 20, 0)``
+attached to a branch, produced by a utility that read the accumulated branch
+count database.  Our equivalent is a comment directive keyed by the stable
+:class:`BranchId` (function name + source-order index)::
+
+    //!MF! IFPROB(eval, 12, 105000, 3200)
+
+meaning: branch #12 of function ``eval`` executed 105000 times, of which the
+condition was true 3200 times.  The lexer collects ``//!MF!`` comments; this
+module parses them into a branch->counts mapping and renders the mapping back
+into source text (the "feed the counts back into the source" utility).
+"""
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ir.instructions import BranchId
+from repro.lang.errors import LangError
+
+_IFPROB_RE = re.compile(
+    r"^IFPROB\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*,\s*(\d+)\s*,\s*(\d+)\s*,\s*(\d+)\s*\)$"
+)
+
+
+def parse_directives(texts: Iterable[str]) -> Dict[BranchId, Tuple[int, int]]:
+    """Parse directive comment texts into ``{BranchId: (executed, taken)}``.
+
+    Unknown directives raise; duplicate IFPROBs for one branch accumulate
+    (matching the accumulate-across-runs database semantics).
+    """
+    counts: Dict[BranchId, Tuple[int, int]] = {}
+    for text in texts:
+        text = text.strip()
+        if not text:
+            continue
+        match = _IFPROB_RE.match(text)
+        if match is None:
+            raise LangError(f"unrecognized compiler directive: {text!r}")
+        function, index, executed, taken = match.groups()
+        branch_id = BranchId(function, int(index))
+        executed = int(executed)
+        taken = int(taken)
+        if taken > executed:
+            raise LangError(
+                f"IFPROB for {branch_id}: taken {taken} exceeds executed {executed}"
+            )
+        old_exec, old_taken = counts.get(branch_id, (0, 0))
+        counts[branch_id] = (old_exec + executed, old_taken + taken)
+    return counts
+
+
+def format_directives(counts: Dict[BranchId, Tuple[int, int]]) -> str:
+    """Render branch counts as directive comment lines (sorted, stable)."""
+    lines: List[str] = []
+    for branch_id in sorted(counts):
+        executed, taken = counts[branch_id]
+        lines.append(
+            f"//!MF! IFPROB({branch_id.function}, {branch_id.index}, "
+            f"{executed}, {taken})"
+        )
+    return "\n".join(lines)
+
+
+def apply_feedback(source: str, counts: Dict[BranchId, Tuple[int, int]]) -> str:
+    """Insert (or replace) IFPROB directives in MF source text.
+
+    Existing IFPROB directive lines are removed first, so feeding back twice
+    does not double-count; the fresh block is prepended.
+    """
+    kept = [
+        line
+        for line in source.splitlines()
+        if not line.lstrip().startswith("//!MF! IFPROB(")
+    ]
+    header = format_directives(counts)
+    body = "\n".join(kept)
+    if header:
+        return header + "\n" + body + ("\n" if not body.endswith("\n") else "")
+    return body
+
+
+def strip_feedback(source: str) -> str:
+    """Remove all IFPROB directive lines from source text."""
+    return apply_feedback(source, {})

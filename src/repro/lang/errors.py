@@ -1,0 +1,13 @@
+"""Front-end error type with source positions."""
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """A lexical, syntactic or semantic error in MF source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)

@@ -1,0 +1,283 @@
+"""Semantic analysis for MF programs.
+
+Resolves names, checks arities and lvalues, classifies calls as direct
+(callee is a declared function) or indirect (callee is a value), and checks
+``break``/``continue`` placement.  MF has one flat scope per function
+(parameters and ``var`` declarations anywhere in the body), plus the global
+scope.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import LangError
+
+#: Built-in functions: name -> arity.  ``getc`` returns the next input byte
+#: (-1 at end of input); ``putc`` appends a byte to the output stream.
+BUILTINS: Dict[str, int] = {"getc": 0, "putc": 1}
+
+
+@dataclasses.dataclass
+class SemaInfo:
+    """Results of semantic analysis, consumed by the code generator."""
+
+    global_scalars: Set[str]
+    global_arrays: Dict[str, int]  # name -> size
+    functions: Dict[str, int]  # name -> arity
+    locals_by_function: Dict[str, List[str]]  # name -> ordered local names
+
+
+def analyze(program: ast.ProgramAST) -> SemaInfo:
+    """Analyze a parsed program; raises :class:`LangError` on the first fault.
+
+    A ``Call`` node whose callee name is a variable (not a declared function
+    or builtin) is an *indirect* call through the variable's value; both this
+    pass and the code generator classify calls by that rule.
+    """
+    global_scalars: Set[str] = set()
+    global_arrays: Dict[str, int] = {}
+    for decl in program.globals:
+        name = decl.ident
+        if name in global_scalars or name in global_arrays or name in BUILTINS:
+            raise LangError(f"duplicate global {name!r}", decl.line)
+        if isinstance(decl, ast.VarDecl):
+            global_scalars.add(name)
+        else:
+            global_arrays[name] = decl.size
+
+    functions: Dict[str, int] = {}
+    for func in program.functions:
+        if (
+            func.ident in functions
+            or func.ident in BUILTINS
+            or func.ident in global_scalars
+            or func.ident in global_arrays
+        ):
+            raise LangError(f"duplicate definition of {func.ident!r}", func.line)
+        functions[func.ident] = len(func.params)
+
+    if "main" not in functions:
+        raise LangError("program has no 'main' function")
+    if functions["main"] != 0:
+        raise LangError("'main' must take no parameters")
+
+    info = SemaInfo(
+        global_scalars=global_scalars,
+        global_arrays=global_arrays,
+        functions=functions,
+        locals_by_function={},
+    )
+    for func in program.functions:
+        info.locals_by_function[func.ident] = _analyze_function(func, info)
+    return info
+
+
+class _FunctionAnalyzer:
+    def __init__(self, func: ast.FuncDecl, info: SemaInfo):
+        self.func = func
+        self.info = info
+        self.locals: List[str] = []
+        self.local_set: Set[str] = set()
+        self.loop_depth = 0
+        self.break_depth = 0  # loops + switches
+
+    def error(self, message: str, node: ast.Node) -> LangError:
+        return LangError(f"in {self.func.ident!r}: {message}", node.line)
+
+    def declare_local(self, name: str, node: ast.Node) -> None:
+        if name in self.local_set:
+            raise self.error(f"duplicate local {name!r}", node)
+        if name in self.info.functions or name in BUILTINS:
+            raise self.error(f"local {name!r} shadows a function", node)
+        if name in self.info.global_arrays:
+            raise self.error(f"local {name!r} shadows a global array", node)
+        self.local_set.add(name)
+        self.locals.append(name)
+
+    def run(self) -> List[str]:
+        for param in self.func.params:
+            self.declare_local(param, self.func)
+        # Locals may be declared anywhere; collect them up front so that the
+        # code generator can allocate registers in one pass.
+        self._collect_decls(self.func.body)
+        self._check_stmts(self.func.body)
+        return self.locals
+
+    def _collect_decls(self, stmts: List[ast.Node]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.VarDecl):
+                self.declare_local(stmt.ident, stmt)
+            elif isinstance(stmt, ast.If):
+                self._collect_decls(stmt.then_body)
+                self._collect_decls(stmt.else_body)
+            elif isinstance(stmt, (ast.While, ast.DoWhile)):
+                self._collect_decls(stmt.body)
+            elif isinstance(stmt, ast.For):
+                if stmt.init is not None:
+                    self._collect_decls([stmt.init])
+                if stmt.step is not None:
+                    self._collect_decls([stmt.step])
+                self._collect_decls(stmt.body)
+            elif isinstance(stmt, ast.Switch):
+                for arm in stmt.arms:
+                    self._collect_decls(arm.body)
+
+    # -- statements --------------------------------------------------------
+
+    def _check_stmts(self, stmts: List[ast.Node]) -> None:
+        for stmt in stmts:
+            self._check_stmt(stmt)
+
+    def _check_stmt(self, stmt: ast.Node) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            self._check_lvalue(stmt.target)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond)
+            self._check_stmts(stmt.then_body)
+            self._check_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond)
+            self.loop_depth += 1
+            self.break_depth += 1
+            self._check_stmts(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self.break_depth += 1
+            self._check_stmts(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+            self._check_expr(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self.loop_depth += 1
+            self.break_depth += 1
+            self._check_stmts(stmt.body)
+            self.loop_depth -= 1
+            self.break_depth -= 1
+        elif isinstance(stmt, ast.Switch):
+            self._check_expr(stmt.scrutinee)
+            seen_values: Set[int] = set()
+            for arm in stmt.arms:
+                if arm.values is not None:
+                    for value in arm.values:
+                        if value in seen_values:
+                            raise self.error(f"duplicate case {value}", arm)
+                        seen_values.add(value)
+            self.break_depth += 1
+            for arm in stmt.arms:
+                self._check_stmts(arm.body)
+            self.break_depth -= 1
+        elif isinstance(stmt, ast.Break):
+            if self.break_depth == 0:
+                raise self.error("'break' outside loop or switch", stmt)
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise self.error("'continue' outside loop", stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.Halt):
+            pass
+        else:  # pragma: no cover - parser produces only known nodes
+            raise self.error(f"unknown statement {type(stmt).__name__}", stmt)
+
+    def _check_lvalue(self, target: ast.Node) -> None:
+        if isinstance(target, ast.Name):
+            name = target.ident
+            if name in self.local_set or name in self.info.global_scalars:
+                return
+            if name in self.info.global_arrays:
+                raise self.error(f"cannot assign to array {name!r} directly", target)
+            raise self.error(f"undefined variable {name!r}", target)
+        if isinstance(target, ast.Index):
+            self._check_index(target)
+            return
+        raise self.error("assignment target must be a name or element", target)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Node) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Name):
+            name = expr.ident
+            if name in self.local_set or name in self.info.global_scalars:
+                return
+            if name in self.info.global_arrays:
+                raise self.error(
+                    f"array {name!r} used as a value (index it instead)", expr
+                )
+            if name in self.info.functions or name in BUILTINS:
+                raise self.error(
+                    f"function {name!r} used as a value (use &{name})", expr
+                )
+            raise self.error(f"undefined variable {name!r}", expr)
+        if isinstance(expr, ast.FuncRef):
+            if expr.ident not in self.info.functions:
+                raise self.error(f"'&' applied to non-function {expr.ident!r}", expr)
+            return
+        if isinstance(expr, ast.Index):
+            self._check_index(expr)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+            return
+        if isinstance(expr, ast.Call):
+            self._check_call(expr)
+            return
+        if isinstance(expr, ast.IndirectCall):
+            self._check_expr(expr.callee)
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        raise self.error(f"unknown expression {type(expr).__name__}", expr)
+
+    def _check_index(self, expr: ast.Index) -> None:
+        if expr.array not in self.info.global_arrays:
+            raise self.error(f"{expr.array!r} is not an array", expr)
+        self._check_expr(expr.index)
+
+    def _check_call(self, expr: ast.Call) -> None:
+        name = expr.func
+        arity = self.info.functions.get(name)
+        if arity is None:
+            arity = BUILTINS.get(name)
+        if arity is not None:
+            if len(expr.args) != arity:
+                raise self.error(
+                    f"call to {name!r} with {len(expr.args)} args, expects {arity}",
+                    expr,
+                )
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        # Callee is a variable: this is an indirect call through its value
+        # (the code generator classifies calls the same way).
+        if name in self.local_set or name in self.info.global_scalars:
+            for arg in expr.args:
+                self._check_expr(arg)
+            return
+        raise self.error(f"call to undefined function {name!r}", expr)
+
+
+def _analyze_function(func: ast.FuncDecl, info: SemaInfo) -> List[str]:
+    return _FunctionAnalyzer(func, info).run()

@@ -1,0 +1,76 @@
+"""Token definitions for the MF language."""
+from __future__ import annotations
+
+import dataclasses
+
+#: Reserved words.
+KEYWORDS = frozenset(
+    {
+        "var",
+        "arr",
+        "func",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "switch",
+        "case",
+        "default",
+        "break",
+        "continue",
+        "return",
+        "halt",
+    }
+)
+
+#: Multi-character operators, longest first (order matters to the lexer).
+MULTI_CHAR_OPS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+)
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPS = "+-*/%&|^~!<>=(){}[];:,"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"int"``, ``"ident"``, ``"keyword"``, ``"op"`` or
+    ``"eof"``.  ``value`` holds the integer value, identifier text, keyword
+    text or operator text respectively.
+    """
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.value == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.value == text
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return f"{self.value!r}"

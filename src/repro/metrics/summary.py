@@ -1,0 +1,41 @@
+"""Per-run summaries used by reports and EXPERIMENTS.md."""
+from __future__ import annotations
+
+import dataclasses
+
+from repro.metrics.ipb import branch_density, ipb_no_prediction, ipb_self_prediction
+from repro.prediction.evaluate import self_prediction
+from repro.vm.counters import RunResult
+
+
+@dataclasses.dataclass
+class RunSummary:
+    """The headline numbers for one (program, dataset) run."""
+
+    program: str
+    dataset: str
+    instructions: int
+    branch_execs: int
+    percent_taken: float
+    branch_density: float
+    percent_correct_self: float
+    ipb_unpredicted: float
+    ipb_unpredicted_with_calls: float
+    ipb_self: float
+
+    @classmethod
+    def from_run(cls, run: RunResult, dataset: str) -> "RunSummary":
+        return cls(
+            program=run.program,
+            dataset=dataset,
+            instructions=run.instructions,
+            branch_execs=run.total_branch_execs,
+            percent_taken=run.percent_taken(),
+            branch_density=branch_density(run),
+            percent_correct_self=self_prediction(run).percent_correct,
+            ipb_unpredicted=ipb_no_prediction(run, include_direct_calls=False),
+            ipb_unpredicted_with_calls=ipb_no_prediction(
+                run, include_direct_calls=True
+            ),
+            ipb_self=ipb_self_prediction(run),
+        )

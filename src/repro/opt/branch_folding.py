@@ -1,0 +1,37 @@
+"""Branch folding: turn constant-outcome conditional branches into jumps.
+
+This pass is part of the *dead code elimination* configuration, which the
+paper deliberately turned off for its measurements ("dead code elimination
+removes conditional branches with constant outcome").  It is enabled when
+measuring Table 1's dead-code fractions.
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.cfg import Function
+from repro.ir.instructions import Instr
+from repro.ir.opcodes import Opcode
+from repro.opt.local_values import BlockValues
+
+
+def fold_branches(func: Function, const_globals: Dict[str, int]) -> bool:
+    """Replace constant (or degenerate) conditional branches with jumps."""
+    changed = False
+    for block in func.blocks:
+        term = block.terminator
+        if term is None or term.op != Opcode.BR:
+            continue
+        if term.then_label == term.else_label:
+            block.instrs[-1] = Instr(Opcode.JMP, then_label=term.then_label)
+            changed = True
+            continue
+        values = BlockValues(const_globals)
+        for instr in block.instrs[:-1]:
+            values.update(instr)
+        cond = values.const_of(term.a)
+        if cond is not None:
+            target = term.then_label if cond != 0 else term.else_label
+            block.instrs[-1] = Instr(Opcode.JMP, then_label=target)
+            changed = True
+    return changed

@@ -1,0 +1,80 @@
+"""Module-level constant-global analysis.
+
+A global *scalar* whose address never reaches a store is a constant with its
+initializer value (MF has no address-of for data, so data addresses cannot
+escape through calls or memory).
+
+The analysis is a flow-insensitive, per-function fixpoint: for every virtual
+register we compute the set of global symbols whose storage it may point
+into; a store writes every symbol its address register may point into.  An
+address of unknown provenance (a set that is empty at a store) conservatively
+invalidates the whole analysis — this cannot arise from our code generator,
+whose store addresses are always ``ADDR`` or ``ADDR``-plus-offset chains.
+
+This is what lets ``if (DEBUG)`` and similar generality knobs become
+constant-outcome branches — the branches the paper's Table 1 says dead code
+elimination would have removed, and which it deliberately left in.
+"""
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.ir.cfg import Function, Module
+from repro.ir.opcodes import Opcode
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+#: Opcodes whose destination may carry an address derived from the operands.
+_PROPAGATING = (Opcode.MOV, Opcode.BIN, Opcode.UN, Opcode.SELECT)
+
+
+def _points_to_sets(func: Function) -> Dict[int, FrozenSet[str]]:
+    """Fixpoint of reg -> symbols-whose-storage-it-may-address."""
+    points_to: Dict[int, FrozenSet[str]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for instr in block.instrs:
+                if instr.dst is None:
+                    continue
+                if instr.op == Opcode.ADDR:
+                    new = points_to.get(instr.dst, _EMPTY) | {instr.symbol}
+                elif instr.op in _PROPAGATING:
+                    gathered: Set[str] = set(points_to.get(instr.dst, _EMPTY))
+                    for reg in instr.uses():
+                        gathered |= points_to.get(reg, _EMPTY)
+                    new = frozenset(gathered)
+                else:
+                    continue
+                if new != points_to.get(instr.dst, _EMPTY):
+                    points_to[instr.dst] = new
+                    changed = True
+    return points_to
+
+
+def written_symbols(module: Module) -> Set[str]:
+    """Global symbols that may be written to, or all of them when unknown."""
+    written: Set[str] = set()
+    for func in module.functions:
+        points_to = _points_to_sets(func)
+        for block in func.blocks:
+            for instr in block.instrs:
+                if instr.op != Opcode.STORE:
+                    continue
+                targets = points_to.get(instr.a, _EMPTY)
+                if not targets:
+                    # Address of unknown provenance: give up entirely.
+                    return {var.name for var in module.globals}
+                written |= targets
+    return written
+
+
+def constant_globals(module: Module) -> Dict[str, int]:
+    """Names of never-written global scalars mapped to their constant value."""
+    written = written_symbols(module)
+    constants: Dict[str, int] = {}
+    for var in module.globals:
+        if var.size == 1 and var.name not in written:
+            constants[var.name] = var.init[0] if var.init else 0
+    return constants

@@ -1,0 +1,49 @@
+"""Jump threading: route control transfers around trivial jump-only blocks.
+
+The paper assumes a good ILP compiler "can eliminate many of these
+unconditional breaks in control by rearranging the static position of the
+code"; threading plus the fall-through elision in lowering is our equivalent.
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.cfg import Function
+from repro.ir.opcodes import Opcode
+
+
+def thread_jumps(func: Function) -> bool:
+    """Retarget branches that point at blocks containing only a jump."""
+    trivial: Dict[str, str] = {}
+    for block in func.blocks:
+        if len(block.instrs) == 1 and block.instrs[0].op == Opcode.JMP:
+            trivial[block.label] = block.instrs[0].then_label
+
+    if not trivial:
+        return False
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    changed = False
+    for block in func.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        if term.op == Opcode.JMP:
+            target = resolve(term.then_label)
+            if target != term.then_label:
+                term.then_label = target
+                changed = True
+        elif term.op == Opcode.BR:
+            then_target = resolve(term.then_label)
+            else_target = resolve(term.else_label)
+            if then_target != term.then_label or else_target != term.else_label:
+                term.then_label = then_target
+                term.else_label = else_target
+                changed = True
+    return changed

@@ -1,0 +1,26 @@
+"""Static and dynamic branch prediction."""
+from repro.prediction.base import FixedPredictor, ProfilePredictor, StaticPredictor
+from repro.prediction.combine import COMBINE_MODES, combine_profiles, leave_one_out
+from repro.prediction.evaluate import (
+    PredictionReport,
+    evaluate_static,
+    self_prediction,
+)
+from repro.prediction.heuristics import (
+    LoopHeuristicPredictor,
+    OpcodeHeuristicPredictor,
+)
+
+__all__ = [
+    "COMBINE_MODES",
+    "FixedPredictor",
+    "LoopHeuristicPredictor",
+    "OpcodeHeuristicPredictor",
+    "PredictionReport",
+    "ProfilePredictor",
+    "StaticPredictor",
+    "combine_profiles",
+    "evaluate_static",
+    "leave_one_out",
+    "self_prediction",
+]

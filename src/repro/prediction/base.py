@@ -1,0 +1,56 @@
+"""Static predictor interface and the profile-based predictor.
+
+A static predictor attaches *one direction* to each conditional branch
+before the program runs (True = taken, i.e. condition true); the branch is
+always predicted to go that way.
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import BranchId
+from repro.profiling.branch_profile import BranchProfile
+
+
+class StaticPredictor:
+    """Interface: a fixed direction per branch."""
+
+    #: Human-readable name for reports.
+    name = "static"
+
+    def predict(self, branch_id: BranchId) -> bool:
+        """The predicted direction for a branch (True = taken)."""
+        raise NotImplementedError
+
+
+class ProfilePredictor(StaticPredictor):
+    """Majority direction from a :class:`BranchProfile`.
+
+    Branches the profile never saw get ``default`` (the paper does not
+    specify a rule; not-taken is ours, and it is configurable).
+    """
+
+    def __init__(
+        self,
+        profile: BranchProfile,
+        default: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.profile = profile
+        self.default = default
+        self.name = name if name is not None else f"profile({profile.program})"
+
+    def predict(self, branch_id: BranchId) -> bool:
+        direction = self.profile.direction(branch_id)
+        return self.default if direction is None else direction
+
+
+class FixedPredictor(StaticPredictor):
+    """Always-taken or always-not-taken (trivial baselines)."""
+
+    def __init__(self, taken: bool) -> None:
+        self.taken = taken
+        self.name = "always-taken" if taken else "always-not-taken"
+
+    def predict(self, branch_id: BranchId) -> bool:
+        return self.taken

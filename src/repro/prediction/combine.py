@@ -1,0 +1,76 @@
+"""Combining dataset profiles into summary predictors.
+
+The paper tried three ways of summing the datasets other than the one being
+predicted (§3, "Scaled vs. unscaled summary predictors"):
+
+* **unscaled** — simply add the counts;
+* **scaled** — divide each dataset's counts by that dataset's total branch
+  executions first, giving every dataset equal total weight (this is what
+  the reported figures use);
+* **polling** — one vote per dataset per branch, regardless of counts
+  (discarded by the paper for performing poorly).
+"""
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.profiling.branch_profile import BranchProfile
+
+COMBINE_MODES = ("scaled", "unscaled", "polling")
+
+
+def combine_profiles(
+    profiles: Iterable[BranchProfile],
+    mode: str = "scaled",
+    program: str = "",
+) -> BranchProfile:
+    """Combine profiles into one summary profile using ``mode``."""
+    profiles = list(profiles)
+    if not profiles:
+        raise ValueError("no profiles to combine")
+    if mode not in COMBINE_MODES:
+        raise ValueError(f"unknown combine mode {mode!r}; use one of {COMBINE_MODES}")
+    name = program or profiles[0].program
+
+    combined = BranchProfile(program=name)
+    if mode == "unscaled":
+        for profile in profiles:
+            combined.add_profile(profile)
+        return combined
+    if mode == "scaled":
+        for profile in profiles:
+            total = profile.total_executed
+            weight = 1.0 / total if total else 0.0
+            combined.add_profile(profile, weight=weight)
+        return combined
+    # polling: each dataset casts one vote per branch it executed.
+    for profile in profiles:
+        votes = BranchProfile(program=name)
+        for branch_id in profile:
+            votes.counts[branch_id] = (
+                1.0,
+                1.0 if profile.direction(branch_id) else 0.0,
+            )
+        combined.add_profile(votes)
+    combined.runs = len(profiles)
+    return combined
+
+
+def leave_one_out(
+    profiles: List[BranchProfile],
+    exclude_index: int,
+    mode: str = "scaled",
+) -> BranchProfile:
+    """Combine every profile except ``profiles[exclude_index]``.
+
+    This is the paper's Figure 2 white-bar predictor: "the sum of all the
+    other datasets, weighed by dataset size, to predict the given dataset".
+    """
+    rest = [
+        profile
+        for index, profile in enumerate(profiles)
+        if index != exclude_index
+    ]
+    if not rest:
+        raise ValueError("leave-one-out needs at least two profiles")
+    return combine_profiles(rest, mode=mode)

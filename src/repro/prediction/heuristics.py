@@ -1,0 +1,116 @@
+"""Heuristic (non-profile) static predictors.
+
+The paper reports: "We tried using very simple heuristics, distinguishing
+between loops and nonloops, and our results were, unsurprisingly, terrible
+... this usually gave up about a factor of two in instructions per break."
+These predictors reproduce that comparison, plus an opcode heuristic in the
+spirit of [Smith 81].
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.analysis import back_edges
+from repro.ir.cfg import Function, Module
+from repro.ir.instructions import BranchId
+from repro.ir.opcodes import BinOp, Opcode
+from repro.prediction.base import StaticPredictor
+
+
+def _loop_bodies(func: Function) -> Dict[str, set]:
+    """header label -> set of block labels in that natural loop."""
+    preds: Dict[str, list] = {block.label: [] for block in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            preds[succ].append(block.label)
+    bodies: Dict[str, set] = {}
+    for source, header in back_edges(func):
+        loop = bodies.setdefault(header, {header})
+        worklist = [source]
+        loop.add(source)
+        while worklist:
+            label = worklist.pop()
+            if label == header:
+                continue
+            for pred in preds[label]:
+                if pred not in loop:
+                    loop.add(pred)
+                    worklist.append(pred)
+    return bodies
+
+
+class LoopHeuristicPredictor(StaticPredictor):
+    """Loop/non-loop heuristic: predict that loops continue.
+
+    For a branch inside a natural loop whose two targets differ in loop
+    membership, predict the edge that *stays in the innermost loop*; every
+    other branch is predicted not-taken.  This is the "very simple
+    heuristics, distinguishing between loops and nonloops" the paper tried.
+    """
+
+    name = "loop-heuristic"
+
+    def __init__(self, module: Module) -> None:
+        self._directions: Dict[BranchId, bool] = {}
+        for func in module.functions:
+            bodies = _loop_bodies(func)
+            for block in func.blocks:
+                term = block.terminator
+                if term is None or term.op != Opcode.BR:
+                    continue
+                containing = [
+                    body for body in bodies.values() if block.label in body
+                ]
+                direction = False
+                if containing:
+                    innermost = min(containing, key=len)
+                    then_in = term.then_label in innermost
+                    else_in = term.else_label in innermost
+                    if then_in and not else_in:
+                        direction = True
+                self._directions[term.branch_id] = direction
+
+    def predict(self, branch_id: BranchId) -> bool:
+        return self._directions.get(branch_id, False)
+
+
+#: Opcode-heuristic directions, in the spirit of [Smith 81]: inequality
+#: tests are usually "not equal" (loop guards, error checks), comparisons
+#: against bounds usually hold.
+_OPCODE_DIRECTIONS = {
+    int(BinOp.EQ): False,
+    int(BinOp.NE): True,
+    int(BinOp.LT): True,
+    int(BinOp.LE): True,
+    int(BinOp.GT): False,
+    int(BinOp.GE): False,
+}
+
+
+class OpcodeHeuristicPredictor(StaticPredictor):
+    """Predict from the comparison operator feeding each branch.
+
+    When the branch condition is produced by a comparison in the same block,
+    its operator chooses the direction; otherwise the loop heuristic's
+    default (not-taken) applies.
+    """
+
+    name = "opcode-heuristic"
+
+    def __init__(self, module: Module) -> None:
+        self._directions: Dict[BranchId, bool] = {}
+        for func in module.functions:
+            for block in func.blocks:
+                term = block.terminator
+                if term is None or term.op != Opcode.BR:
+                    continue
+                direction = False
+                for instr in reversed(block.body()):
+                    if instr.dst == term.a:
+                        if instr.op == Opcode.BIN:
+                            direction = _OPCODE_DIRECTIONS.get(instr.subop, False)
+                        break
+                self._directions[term.branch_id] = direction
+
+    def predict(self, branch_id: BranchId) -> bool:
+        return self._directions.get(branch_id, False)

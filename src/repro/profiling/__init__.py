@@ -1,0 +1,11 @@
+"""Branch profiling: the IFPROBBER analog and its database."""
+from repro.profiling.branch_profile import BranchProfile
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.ifprobber import IfProbber, profile_from_feedback
+
+__all__ = [
+    "BranchProfile",
+    "IfProbber",
+    "ProfileDatabase",
+    "profile_from_feedback",
+]

@@ -1,0 +1,9 @@
+"""User-facing command-line tools.
+
+The paper closes: "An important issue not covered here is the user
+interface to a system that provides this feedback.  We know of no work
+published in this area, nor do we know of any commercial compilers that
+have offered branch direction prediction feedback as an option."
+:mod:`repro.tools.cli` is that interface for MF programs: run, profile,
+feed back, predict.
+"""

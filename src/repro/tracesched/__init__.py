@@ -1,0 +1,23 @@
+"""Trace selection and candidate-set analysis (extension: the paper's
+motivating ILP-compiler use of static branch prediction)."""
+from repro.tracesched.candidate_sets import (
+    CandidateSetReport,
+    candidate_set_report,
+    compare_predictors,
+    expected_useful_length,
+)
+from repro.tracesched.trace_selection import (
+    Trace,
+    select_traces,
+    trace_instruction_counts,
+)
+
+__all__ = [
+    "CandidateSetReport",
+    "Trace",
+    "candidate_set_report",
+    "compare_predictors",
+    "expected_useful_length",
+    "select_traces",
+    "trace_instruction_counts",
+]

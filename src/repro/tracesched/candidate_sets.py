@@ -1,0 +1,111 @@
+"""Expected candidate-set sizes along selected traces.
+
+The paper motivates everything with the candidate set: "the compiler must
+look at a large group of instructions in order to use the machine's
+resources well".  Given a trace and a *target* run's branch statistics, the
+expected number of instructions the scheduler can usefully consider is
+
+    E[useful] = sum over instructions i of P(control reaches i on-trace)
+
+where the survival probability decays at each conditional branch by the
+probability the branch actually goes the way the trace assumed.  Good
+predictions keep survival high; a mispredicted-at-50% branch halves
+everything after it.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.ir.cfg import Function
+from repro.ir.opcodes import Opcode
+from repro.profiling.branch_profile import BranchProfile
+from repro.tracesched.trace_selection import Trace
+
+
+@dataclasses.dataclass
+class CandidateSetReport:
+    """Candidate-set statistics for one function's traces."""
+
+    function: str
+    #: per-trace expected useful instruction counts
+    expected_useful: List[float]
+    #: per-trace static instruction counts
+    static_lengths: List[int]
+
+    @property
+    def best_expected(self) -> float:
+        return max(self.expected_useful) if self.expected_useful else 0.0
+
+    @property
+    def mean_expected(self) -> float:
+        if not self.expected_useful:
+            return 0.0
+        return sum(self.expected_useful) / len(self.expected_useful)
+
+
+def expected_useful_length(
+    func: Function, trace: Trace, profile: BranchProfile
+) -> float:
+    """Expected on-trace instructions, under the target profile.
+
+    The trace was built assuming each branch goes in some direction; the
+    profile says how often it actually does.  Unknown branches are assumed
+    50/50 (the conservative choice).
+    """
+    block_map = func.block_map()
+    survival = 1.0
+    expected = 0.0
+    for position, label in enumerate(trace.blocks):
+        block = block_map[label]
+        expected += survival * len(block.instrs)
+        term = block.terminator
+        if term is None or term.op != Opcode.BR:
+            continue
+        if position + 1 >= len(trace.blocks):
+            break
+        counts = profile.counts.get(term.branch_id)
+        if counts is None or counts[0] == 0:
+            stay_probability = 0.5
+        else:
+            executed, taken = counts
+            taken_fraction = taken / executed
+            next_label = trace.blocks[position + 1]
+            if next_label == term.then_label:
+                stay_probability = taken_fraction
+            else:
+                stay_probability = 1.0 - taken_fraction
+        survival *= stay_probability
+    return expected
+
+
+def candidate_set_report(
+    func: Function, traces: List[Trace], profile: BranchProfile
+) -> CandidateSetReport:
+    """Candidate-set statistics for every trace of a function."""
+    block_map = func.block_map()
+    return CandidateSetReport(
+        function=func.name,
+        expected_useful=[
+            expected_useful_length(func, trace, profile) for trace in traces
+        ],
+        static_lengths=[
+            sum(len(block_map[label].instrs) for label in trace.blocks)
+            for trace in traces
+        ],
+    )
+
+
+def compare_predictors(
+    func: Function,
+    profile: BranchProfile,
+    predictors: Dict[str, "StaticPredictor"],
+) -> Dict[str, CandidateSetReport]:
+    """Candidate-set reports per predictor (the ablation the paper implies:
+    better predictions -> longer useful traces)."""
+    from repro.tracesched.trace_selection import select_traces
+
+    return {
+        name: candidate_set_report(func, select_traces(func, predictor), profile)
+        for name, predictor in predictors.items()
+    }

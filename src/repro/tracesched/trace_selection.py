@@ -1,0 +1,76 @@
+"""Trace selection over profiled CFGs (the paper's motivating use).
+
+Trace scheduling [Fisher 81] picks *traces* — likely-executed linear paths
+through the CFG — and schedules each as if it were straight-line code, with
+compensation at the off-trace exits.  Branch predictions decide which
+successor a trace follows, so the quality of static prediction directly
+bounds the candidate-set size the scheduler sees.  This module implements
+the selection step: grow traces by always following each conditional
+branch's predicted direction.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import Function
+from repro.ir.opcodes import Opcode
+from repro.prediction.base import StaticPredictor
+
+
+@dataclasses.dataclass
+class Trace:
+    """One selected trace: a path of block labels within a function."""
+
+    function: str
+    blocks: List[str]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def select_traces(func: Function, predictor: StaticPredictor) -> List[Trace]:
+    """Partition the function's blocks into traces.
+
+    Traces are seeded in layout order from still-unplaced blocks and grown
+    forward: an unconditional jump follows its target, a conditional branch
+    follows the *predicted* direction.  Growth stops at returns, halts,
+    already-placed blocks, or when the predicted successor is the trace's
+    own head (a backedge: the loop body becomes one trace).
+    """
+    block_map = func.block_map()
+    placed: Set[str] = set()
+    traces: List[Trace] = []
+    for seed in func.blocks:
+        if seed.label in placed:
+            continue
+        blocks: List[str] = []
+        current = seed
+        while current is not None and current.label not in placed:
+            placed.add(current.label)
+            blocks.append(current.label)
+            successor = _predicted_successor(current, predictor)
+            current = block_map.get(successor) if successor else None
+        traces.append(Trace(function=func.name, blocks=blocks))
+    return traces
+
+
+def _predicted_successor(block, predictor: StaticPredictor) -> Optional[str]:
+    term = block.terminator
+    if term is None:
+        return None
+    if term.op == Opcode.JMP:
+        return term.then_label
+    if term.op == Opcode.BR:
+        taken = predictor.predict(term.branch_id)
+        return term.then_label if taken else term.else_label
+    return None
+
+
+def trace_instruction_counts(func: Function, traces: List[Trace]) -> Dict[int, int]:
+    """Trace index -> static instruction count along the trace."""
+    block_map = func.block_map()
+    return {
+        index: sum(len(block_map[label].instrs) for label in trace.blocks)
+        for index, trace in enumerate(traces)
+    }

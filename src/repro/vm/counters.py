@@ -1,0 +1,80 @@
+"""Run results: the dynamic counts a single execution produces.
+
+This is the union of what the paper's two tools collected:
+
+* MFPixie-style data — the exact number of RISC-level operations executed,
+  and counts of each kind of control-transfer event;
+* IFPROBBER-style data — per static conditional branch, how many times it
+  executed and how many times it was taken (condition true).
+
+Everything downstream (profiles, predictors, the instructions-per-break
+metrics) is arithmetic over one :class:`RunResult` per (program, dataset).
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.ir.instructions import BranchId
+
+
+@dataclasses.dataclass
+class ControlEvents:
+    """Counts of executed control-transfer events, by kind.
+
+    Conditional branches are counted separately (per branch) in
+    :attr:`RunResult.branch_exec`; this records everything else.
+    """
+
+    direct_calls: int = 0
+    direct_returns: int = 0
+    indirect_calls: int = 0
+    indirect_returns: int = 0
+    jumps: int = 0
+    selects: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything measured during one run of one program on one dataset."""
+
+    program: str
+    instructions: int
+    branch_table: List[BranchId]
+    branch_exec: List[int]
+    branch_taken: List[int]
+    events: ControlEvents
+    output: bytes
+    exit_code: int
+
+    @property
+    def total_branch_execs(self) -> int:
+        """Total dynamic conditional-branch executions."""
+        return sum(self.branch_exec)
+
+    @property
+    def total_branch_taken(self) -> int:
+        """Total dynamic taken (condition-true) branch executions."""
+        return sum(self.branch_taken)
+
+    def percent_taken(self) -> float:
+        """Fraction of executed conditional branches that were taken.
+
+        The paper's informal "branch percent taken as a program constant"
+        measure.  Returns 0.0 for a run with no branch executions.
+        """
+        total = self.total_branch_execs
+        return self.total_branch_taken / total if total else 0.0
+
+    def branch_counts(self) -> Dict[BranchId, Tuple[int, int]]:
+        """Per-branch ``(executed, taken)``, restricted to executed branches."""
+        counts: Dict[BranchId, Tuple[int, int]] = {}
+        for branch_id, executed, taken in zip(
+            self.branch_table, self.branch_exec, self.branch_taken
+        ):
+            if executed:
+                counts[branch_id] = (executed, taken)
+        return counts

@@ -1,0 +1,10 @@
+"""Virtual machine error types."""
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Raised for run-time faults (bad memory access, division by zero, ...)."""
+
+
+class InstructionLimitExceeded(VMError):
+    """Raised when a run exceeds its instruction budget (runaway program)."""

@@ -1,0 +1,136 @@
+"""Branch monitors: online observers of the dynamic branch-outcome stream.
+
+Static prediction can be evaluated after the fact from aggregate counts, but
+some measurements depend on outcome *order* or *position*: dynamic
+predictors (the 1-bit and 2-bit hardware schemes the paper compares against)
+and the distribution of instruction run lengths between breaks (§3: "The
+distribution of runs of instructions between mispredicted branches will not
+be constant").  A monitor is attached to a VM run and receives every
+conditional branch outcome along with the current executed-instruction
+count.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class BranchMonitor:
+    """Interface: receives each (branch_index, taken, instruction_count)."""
+
+    def on_branch(self, branch_index: int, taken: bool, icount: int) -> None:
+        raise NotImplementedError
+
+    def on_run_start(self, num_branches: int) -> None:
+        """Called once before execution with the static branch count."""
+
+
+class OutcomeRecorder(BranchMonitor):
+    """Records the full outcome sequence (for tests and small programs only)."""
+
+    def __init__(self) -> None:
+        self.outcomes: List[tuple] = []
+
+    def on_run_start(self, num_branches: int) -> None:
+        self.outcomes = []
+
+    def on_branch(self, branch_index: int, taken: bool, icount: int) -> None:
+        self.outcomes.append((branch_index, taken))
+
+
+class OnlinePredictorMonitor(BranchMonitor):
+    """Scores a dynamic predictor online, branch by branch.
+
+    The predictor state lives here (one small state per static branch); hits
+    and misses are tallied as the run progresses.  This mirrors how the
+    hardware schemes in [Smith 81] / [Lee and Smith 84] behave, with an
+    infinite (untagged, unaliased) branch history table.
+    """
+
+    def __init__(self, num_bits: int = 2, initial_state: int = 0) -> None:
+        if num_bits not in (1, 2):
+            raise ValueError("num_bits must be 1 or 2")
+        self.num_bits = num_bits
+        self.initial_state = initial_state
+        self.max_state = (1 << num_bits) - 1
+        self.threshold = 1 << (num_bits - 1)
+        self.states: List[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def on_run_start(self, num_branches: int) -> None:
+        self.states = [self.initial_state] * num_branches
+        self.hits = 0
+        self.misses = 0
+
+    def on_branch(self, branch_index: int, taken: bool, icount: int) -> None:
+        state = self.states[branch_index]
+        predicted_taken = state >= self.threshold
+        if predicted_taken == taken:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if taken:
+            if state < self.max_state:
+                self.states[branch_index] = state + 1
+        else:
+            if state > 0:
+                self.states[branch_index] = state - 1
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of branch executions predicted correctly."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RunLengthMonitor(BranchMonitor):
+    """Records instruction run lengths between mispredicted branches.
+
+    Takes the per-branch static directions (index -> predicted taken) of
+    some static predictor; each time a branch goes against its prediction,
+    the number of instructions executed since the previous misprediction is
+    recorded.  The paper's §3 point is that these runs are *not* evenly
+    spaced — "far more ILP will be available if one has 80 instructions
+    followed by two mispredicted branches than if one has 40 instructions,
+    a mispredicted branch".
+    """
+
+    def __init__(self, directions: Sequence[bool]):
+        self.directions = list(directions)
+        self.run_lengths: List[int] = []
+        self._last_break_icount = 0
+
+    def on_run_start(self, num_branches: int) -> None:
+        if len(self.directions) < num_branches:
+            self.directions = self.directions + [False] * (
+                num_branches - len(self.directions)
+            )
+        self.run_lengths = []
+        self._last_break_icount = 0
+
+    def on_branch(self, branch_index: int, taken: bool, icount: int) -> None:
+        if taken != self.directions[branch_index]:
+            self.run_lengths.append(icount - self._last_break_icount)
+            self._last_break_icount = icount
+
+    # -- statistics ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics of the run-length distribution."""
+        lengths = sorted(self.run_lengths)
+        if not lengths:
+            return {
+                "count": 0, "mean": 0.0, "median": 0.0,
+                "p10": 0.0, "p90": 0.0, "cv": 0.0,
+            }
+        count = len(lengths)
+        mean = sum(lengths) / count
+        variance = sum((value - mean) ** 2 for value in lengths) / count
+        return {
+            "count": count,
+            "mean": mean,
+            "median": float(lengths[count // 2]),
+            "p10": float(lengths[int(count * 0.10)]),
+            "p90": float(lengths[min(int(count * 0.90), count - 1)]),
+            "cv": (variance ** 0.5) / mean if mean else 0.0,
+        }

@@ -1,0 +1,28 @@
+"""Workload analogs of the paper's Table 2 program/dataset sample base."""
+from repro.workloads.base import (
+    C,
+    FORTRAN,
+    Dataset,
+    Workload,
+    encode_ints,
+    load_program_source,
+)
+from repro.workloads.registry import (
+    all_workloads,
+    get_workload,
+    multi_dataset_workloads,
+    workload_names,
+)
+
+__all__ = [
+    "C",
+    "FORTRAN",
+    "Dataset",
+    "Workload",
+    "all_workloads",
+    "encode_ints",
+    "get_workload",
+    "load_program_source",
+    "multi_dataset_workloads",
+    "workload_names",
+]

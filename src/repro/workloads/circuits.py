@@ -1,0 +1,119 @@
+"""The spice2g6 workload: nine netlists over four device-model modules.
+
+Dataset design follows the paper's Table 2: five example circuits from the
+Spice 2G user's guide, two 4-bit adders (BJT "ttl" and FET "mosfet" gate
+variants) and two greycode-counter transients of very different lengths.
+The mix deliberately makes datasets exercise *different modules* — the
+property the paper blamed for spice2g6 being the hardest program to predict
+across datasets.
+"""
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.workloads.base import FORTRAN, Dataset, Workload, load_program_source
+from repro.workloads.sourcegen import netlist
+
+Device = Tuple[int, int, int, int, int]
+
+R, DIODE, BJT, FET = 1, 2, 3, 4
+
+
+def _resistor_chain(rng: random.Random, nnodes: int) -> List[Device]:
+    return [
+        (R, i - 1, i, 0, rng.randint(50, 400))
+        for i in range(2, nnodes)
+    ]
+
+
+def _diode_ladder(rng: random.Random, nnodes: int) -> List[Device]:
+    devices = _resistor_chain(rng, nnodes)
+    for i in range(2, nnodes, 2):
+        devices.append((DIODE, i, max(i - 2, 0), 0, rng.randint(20, 90)))
+    return devices
+
+
+def _bjt_gates(rng: random.Random, nnodes: int) -> List[Device]:
+    devices = []
+    for i in range(2, nnodes):
+        devices.append((R, i - 1, i, 0, rng.randint(80, 300)))
+        devices.append((BJT, i, (i % (nnodes - 1)) + 1, 0, rng.randint(20, 80)))
+    return devices
+
+
+def _fet_gates(rng: random.Random, nnodes: int) -> List[Device]:
+    devices = []
+    for i in range(2, nnodes):
+        devices.append((R, i - 1, i, 0, rng.randint(80, 300)))
+        devices.append((FET, i, (i % (nnodes - 1)) + 1, 0, rng.randint(10, 40)))
+    return devices
+
+
+def _mixed(rng: random.Random, nnodes: int) -> List[Device]:
+    devices = _resistor_chain(rng, nnodes)
+    for i in range(2, nnodes, 3):
+        devices.append((DIODE, i, 0, 0, rng.randint(20, 60)))
+    for i in range(3, nnodes, 4):
+        devices.append((BJT, i, (i + 1) % nnodes, 0, rng.randint(30, 70)))
+    return devices
+
+
+def build_spice() -> Workload:
+    rng = random.Random(1992)
+    datasets = [
+        Dataset(
+            "circuit1",
+            "resistive divider DC sweep (user's guide ex. 1)",
+            netlist(1, 8, _resistor_chain(rng, 8), 25),
+        ),
+        Dataset(
+            "circuit2",
+            "small diode clipper, very short run",
+            netlist(1, 6, _diode_ladder(rng, 6), 2),
+        ),
+        Dataset(
+            "circuit3",
+            "diode ladder DC sweep",
+            netlist(1, 14, _diode_ladder(rng, 14), 30),
+        ),
+        Dataset(
+            "circuit4",
+            "mixed R/D/BJT network DC sweep",
+            netlist(1, 18, _mixed(rng, 18), 30),
+        ),
+        Dataset(
+            "circuit5",
+            "BJT amplifier transient",
+            netlist(2, 12, _bjt_gates(rng, 12), 60),
+        ),
+        Dataset(
+            "add_bjt",
+            "4-bit all-nand adder, ttl (BJT) gates, DC",
+            netlist(1, 26, _bjt_gates(rng, 26), 45),
+        ),
+        Dataset(
+            "add_fet",
+            "4-bit all-nand adder, mosfet (FET) gates, DC",
+            netlist(1, 26, _fet_gates(rng, 26), 45),
+        ),
+        Dataset(
+            "greysmall",
+            "greycode counter transient, smaller input",
+            netlist(2, 16, _fet_gates(rng, 16), 25),
+        ),
+        Dataset(
+            "greybig",
+            "greycode counter transient, larger input",
+            netlist(2, 16, _fet_gates(rng, 16), 320),
+        ),
+    ]
+    return Workload(
+        name="spice2g6",
+        category=FORTRAN,  # FORTRAN in the paper's Table 2; Figures 2a/3a
+        # give it its own panel, which the experiments replicate.
+        description="electronic design simulator analog: nodal solver with "
+        "R/diode/BJT/FET device-model modules, DC and transient analyses",
+        source=load_program_source("spice.mf"),
+        datasets=datasets,
+    )

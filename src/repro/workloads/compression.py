@@ -1,0 +1,110 @@
+"""The compress / uncompress workload pair.
+
+One binary, two programs (mode byte selects): the paper's point is that the
+two modes share no branch behaviour.  The uncompress datasets are built by
+actually running the MF compress program over the plain datasets — the same
+code that will decompress them — so the pair is exact.
+
+The "compiled image" datasets (cmprss, spice) mirror the paper's use of
+Multiflow executable images as compression inputs: we serialize the lowered
+code of our own compiled programs into a dense byte stream.
+"""
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.compiler import compile_source
+from repro.vm.machine import run_program
+from repro.workloads import sourcegen
+from repro.workloads.base import C, Dataset, Workload, load_program_source
+
+
+def _image_bytes(program_file: str, limit: int = 9000) -> bytes:
+    """A pseudo executable image: the lowered code of a compiled MF program
+    serialized to bytes (the paper compressed compiled Multiflow images)."""
+    compiled = compile_source(load_program_source(program_file), name="image")
+    raw: List[int] = []
+    for func in compiled.lowered.functions:
+        for ins in func.code:
+            for field in ins:
+                if isinstance(field, tuple):
+                    raw.extend(field)
+                else:
+                    raw.append(field)
+    data = bytearray()
+    for value in raw:
+        data.append(value & 0xFF)
+        data.append((value >> 8) & 0xFF)
+    return bytes(data[:limit])
+
+
+def _plain_datasets() -> List[Dataset]:
+    return [
+        Dataset(
+            "cmprssc",
+            "C source of the compress program itself",
+            load_program_source("compress.mf").encode(),
+        ),
+        Dataset(
+            "cmprss",
+            "compiled image of compress (binary data)",
+            _image_bytes("compress.mf"),
+        ),
+        Dataset(
+            "long",
+            "reference text data (English-like)",
+            sourcegen.english_text(5, 2600).encode(),
+        ),
+        Dataset(
+            "spicef",
+            "FORTRAN-flavoured source of spice",
+            sourcegen.fortran_module(900, functions=40).encode(),
+        ),
+        Dataset(
+            "spice",
+            "compiled image of spice (binary data)",
+            _image_bytes("spice.mf"),
+        ),
+    ]
+
+
+@lru_cache(maxsize=None)
+def _compressed(data: bytes) -> bytes:
+    """Compress ``data`` by running the MF compress program in the VM."""
+    compiled = compile_source(load_program_source("compress.mf"), name="compress")
+    result = run_program(compiled.lowered, input_data=b"C" + data)
+    return result.output
+
+
+def build_compress() -> Workload:
+    datasets = [
+        Dataset(ds.name, ds.description, b"C" + ds.data)
+        for ds in _plain_datasets()
+    ]
+    return Workload(
+        name="compress",
+        category=C,
+        description="UNIX compress analog: 12-bit LZW, compression mode",
+        source=load_program_source("compress.mf"),
+        datasets=datasets,
+    )
+
+
+def build_uncompress() -> Workload:
+    datasets = [
+        Dataset(
+            ds.name,
+            f"{ds.description} (LZW-compressed)",
+            b"D" + _compressed(ds.data),
+        )
+        for ds in _plain_datasets()
+    ]
+    return Workload(
+        name="uncompress",
+        category=C,
+        description="UNIX compress analog: 12-bit LZW, decompression mode "
+        "(same binary as compress, mode switch set to decompress)",
+        source=load_program_source("compress.mf"),
+        datasets=datasets,
+    )

@@ -1,0 +1,96 @@
+"""FORTRAN/floating-point workload analogs (paper Table 2, upper half).
+
+These are the programs whose branch behaviour the paper expected to be very
+predictable.  Most read no dataset (matrix300, nasa7, tomcatv, LFK); doduc
+and fpppp read small parameter datasets.
+"""
+from __future__ import annotations
+
+from repro.workloads.base import (
+    FORTRAN,
+    Dataset,
+    Workload,
+    encode_ints,
+    load_program_source,
+)
+
+
+def build_matrix300() -> Workload:
+    return Workload(
+        name="matrix300",
+        category=FORTRAN,
+        description="300x300 linear matrix solver analog (general matmul "
+        "with constant transposition knobs + triangular solve)",
+        source=load_program_source("matrix300.mf"),
+        datasets=[
+            Dataset("default", "program does not read a dataset", b""),
+        ],
+    )
+
+
+def build_tomcatv() -> Workload:
+    return Workload(
+        name="tomcatv",
+        category=FORTRAN,
+        description="mesh generation and solver analog (SOR relaxation "
+        "sweeps over a structured grid)",
+        source=load_program_source("tomcatv.mf"),
+        datasets=[
+            Dataset("default", "program does not read a dataset", b""),
+        ],
+    )
+
+
+def build_nasa7() -> Workload:
+    return Workload(
+        name="nasa7",
+        category=FORTRAN,
+        description="7 synthetic numeric kernels analog",
+        source=load_program_source("nasa7.mf"),
+        datasets=[
+            Dataset("default", "program does not read a dataset", b""),
+        ],
+    )
+
+
+def build_lfk() -> Workload:
+    return Workload(
+        name="lfk",
+        category=FORTRAN,
+        description="Livermore FORTRAN Kernels analog (short-vector loops)",
+        source=load_program_source("lfk.mf"),
+        datasets=[
+            Dataset("default", "program does not read a dataset", b""),
+        ],
+    )
+
+
+def build_doduc() -> Workload:
+    source = load_program_source("doduc.mf")
+    return Workload(
+        name="doduc",
+        category=FORTRAN,
+        description="nuclear reactor modelling analog (time-stepped "
+        "diffusion + table interpolation + control logic)",
+        source=source,
+        datasets=[
+            Dataset("tiny", "short run, low power", encode_ints(12, 350, 3)),
+            Dataset("small", "medium run", encode_ints(30, 500, 5)),
+            Dataset("ref", "reference run", encode_ints(55, 640, 8)),
+        ],
+    )
+
+
+def build_fpppp() -> Workload:
+    source = load_program_source("fpppp.mf")
+    return Workload(
+        name="fpppp",
+        category=FORTRAN,
+        description="quantum chemistry analog: giant straight-line integral "
+        "blocks driven over atom pairs",
+        source=source,
+        datasets=[
+            Dataset("4atoms", "4-atom system (6 pairs/pass)", encode_ints(4)),
+            Dataset("8atoms", "8-atom system (28 pairs/pass)", encode_ints(8)),
+        ],
+    )

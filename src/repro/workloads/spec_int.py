@@ -1,0 +1,283 @@
+"""C/integer workload analogs (paper Table 2, lower half)."""
+from __future__ import annotations
+
+from repro.workloads import sourcegen
+from repro.workloads.base import C, Dataset, Workload, load_program_source
+
+# --- gcc / mfcom (the mcc compiler over source modules) -----------------------
+
+
+def build_gcc() -> Workload:
+    """001.gcc analog: the mcc compiler run over source modules.
+
+    The paper compiled 19 modules and reported on 6; we generate 6 distinct
+    systems-flavoured modules.
+    """
+    styles = ["scanner", "tables", "recursive", "commented", "numeric", "mixed"]
+    datasets = [
+        Dataset(
+            f"module{i}",
+            f"generated systems C module #{i} ({style} style)",
+            sourcegen.c_module(
+                seed=100 + i, functions=20 + 3 * i, style=style
+            ).encode(),
+        )
+        for i, style in enumerate(styles, start=1)
+    ]
+    return Workload(
+        name="gcc",
+        category=C,
+        description="GNU C compiler analog: the MF-written mcc compiler "
+        "(lexer, parser, symbol table, pseudo-code emitter)",
+        source=load_program_source("mcc.mf"),
+        datasets=datasets,
+    )
+
+
+def build_mfcom() -> Workload:
+    """mfcom analog: the same compiler front end over 'systems C' vs
+    'scientific FORTRAN' flavoured source (the paper's c_metric and
+    fortran_metric profiling datasets)."""
+    c_metric = "\n".join(
+        sourcegen.c_module(seed=200 + i, functions=16) for i in range(4)
+    )
+    fortran_metric = "\n".join(
+        sourcegen.fortran_module(seed=300 + i, functions=20) for i in range(4)
+    )
+    return Workload(
+        name="mfcom",
+        category=C,
+        description="Multiflow compiler analog: mcc over systems-C vs "
+        "scientific-FORTRAN flavoured source",
+        source=load_program_source("mcc.mf"),
+        datasets=[
+            Dataset("c_metric", "systems-oriented C-like source", c_metric.encode()),
+            Dataset(
+                "fortran_metric",
+                "scientific subroutine source",
+                fortran_metric.encode(),
+            ),
+        ],
+    )
+
+
+# --- espresso -----------------------------------------------------------------
+
+
+def build_espresso() -> Workload:
+    """008.espresso analog: PLA minimization over four reference PLAs."""
+    datasets = [
+        Dataset(
+            "bca",
+            "dense control PLA (few don't-cares: containment-dominated)",
+            sourcegen.pla_cubes(11, 12, 100, dontcare_weight=1),
+        ),
+        Dataset(
+            "cps",
+            "sparse wide PLA (don't-care heavy: merge-dominated)",
+            sourcegen.pla_cubes(22, 14, 110, dontcare_weight=6),
+        ),
+        Dataset(
+            "ti",
+            "mixed-density PLA",
+            sourcegen.pla_cubes(33, 10, 100, dontcare_weight=3),
+        ),
+        Dataset(
+            "tial",
+            "large dense PLA",
+            sourcegen.pla_cubes(44, 13, 105, dontcare_weight=1),
+        ),
+    ]
+    return Workload(
+        name="espresso",
+        category=C,
+        description="PLA optimizer analog: cube-list minimization "
+        "(merge/contain passes over bit-pair sets)",
+        source=load_program_source("espresso.mf"),
+        datasets=datasets,
+    )
+
+
+# --- li -------------------------------------------------------------------------
+
+_QUEENS_PRELUDE = """
+; n-queens solution counter (SPEC 022.li queens input, board size reduced
+; to keep simulated run lengths tractable)
+(define abs (lambda (x) (if (< x 0) (- 0 x) x)))
+(define safe (lambda (row placed dist)
+  (if (null placed) 1
+    (if (= (car placed) row) 0
+      (if (= (abs (- (car placed) row)) dist) 0
+        (safe row (cdr placed) (+ dist 1)))))))
+(define tryq (lambda (col n placed)
+  (if (= col n) 1
+    (tryrow col n placed 0))))
+(define tryrow (lambda (col n placed row)
+  (if (= row n) 0
+    (+ (if (safe row placed 1) (tryq (+ col 1) n (cons row placed)) 0)
+       (tryrow col n placed (+ row 1))))))
+"""
+
+_KITTYV = """
+; kittyv: the tomcatv mesh solver rewritten in lisp (vector grid relaxation)
+(define n 16)
+(define nn (* n n))
+(define grid (mkvec nn 0))
+(define i 0)
+(while (< i nn)
+  (vset grid i (% (* i 7) 97))
+  (setq i (+ i 1)))
+(define sweep (lambda (pass)
+  (progn
+    (setq i (+ n 1))
+    (while (< i (- nn (+ n 1)))
+      (if (= (% i n) 0) 0
+        (if (= (% i n) (- n 1)) 0
+          (vset grid i (/ (+ (+ (vref grid (- i 1)) (vref grid (+ i 1)))
+                            (+ (vref grid (- i n)) (vref grid (+ i n)))) 4))))
+      (setq i (+ i 1))))))
+(define pass 0)
+(while (< pass 4)
+  (sweep pass)
+  (setq pass (+ pass 1)))
+(define total 0)
+(setq i 0)
+(while (< i nn)
+  (setq total (+ total (vref grid i)))
+  (setq i (+ i 1)))
+(print total)
+"""
+
+
+def _sieve_lisp(limit: int) -> str:
+    """Register-style lisp 'emitted by the machine-language simulator'."""
+    return (
+        "; sieve1: lisp produced by the pseudo-assembly-to-lisp simulator\n"
+        f"(define mem (mkvec {limit} 1))\n"
+        "(define r0 2)\n(define r1 0)\n(define r2 0)\n(define r3 0)\n"
+        f"(while (< r0 {limit})\n"
+        "  (setq r1 (vref mem r0))\n"
+        "  (if (= r1 1)\n"
+        "    (progn\n"
+        "      (setq r2 (dbl r0))\n"
+        f"      (while (< r2 {limit})\n"
+        "        (vset mem r2 0)\n"
+        "        (setq r2 (+ r2 r0)))\n"
+        "      (setq r3 (+ r3 1)))\n"
+        "    0)\n"
+        "  (setq r0 (+ r0 1)))\n"
+        "(print r3)\n"
+    )
+
+
+def build_li() -> Workload:
+    """022.li analog: the MF-written Lisp interpreter over four programs.
+
+    The paper used 8queens/9queens; our boards are 5 and 6 so that each run
+    stays in the low millions of simulated operations (documented dataset
+    compression — the program structure and branch behaviour are what
+    matter).
+    """
+    datasets = [
+        Dataset(
+            "5queens",
+            "queens solution counter, 5x5 board (paper: 8queens)",
+            (_QUEENS_PRELUDE + "(print (tryq 0 5 (quote ())))\n").encode(),
+        ),
+        Dataset(
+            "6queens",
+            "queens solution counter, 6x6 board (paper: 9queens)",
+            (_QUEENS_PRELUDE + "(print (tryq 0 6 (quote ())))\n").encode(),
+        ),
+        Dataset("kittyv", "tomcatv rewritten in lisp", _KITTYV.encode()),
+        Dataset(
+            "sieve1",
+            "prime sieve, machine-generated register-style lisp",
+            _sieve_lisp(520).encode(),
+        ),
+    ]
+    return Workload(
+        name="li",
+        category=C,
+        description="XLISP interpreter analog written in MF: reader, "
+        "eval/apply with cascaded builtin dispatch, cell pool",
+        source=load_program_source("li.mf"),
+        datasets=datasets,
+    )
+
+
+# --- eqntott ----------------------------------------------------------------------
+
+
+def build_eqntott() -> Workload:
+    return Workload(
+        name="eqntott",
+        category=C,
+        description="boolean equations to sorted truth table "
+        "(DAG evaluation over all input combinations + shell sort)",
+        source=load_program_source("eqntott.mf"),
+        datasets=[
+            Dataset(
+                "add4",
+                "naive sum/carry equations, 4-bit adder",
+                sourcegen.adder_equations(4).encode(),
+            ),
+            Dataset(
+                "add5",
+                "naive sum/carry equations, 5-bit adder",
+                sourcegen.adder_equations(5).encode(),
+            ),
+            Dataset(
+                "add6",
+                "naive sum/carry equations, 6-bit adder",
+                sourcegen.adder_equations(6).encode(),
+            ),
+            Dataset(
+                "intpri",
+                "priority circuit equations",
+                sourcegen.priority_equations(10).encode(),
+            ),
+        ],
+    )
+
+
+# --- spiff -------------------------------------------------------------------------
+
+
+def _float_file(seed: int, lines: int, changed: int) -> bytes:
+    """A pair of float-number files with a few differing lines, joined by FS."""
+    import random
+
+    rng = random.Random(seed)
+    base = [f"{rng.random():.6f}" for _ in range(lines)]
+    other = list(base)
+    for index in rng.sample(range(lines), changed):
+        other[index] = f"{rng.random():.6f}"
+    return ("\n".join(base) + "\n").encode() + bytes([28]) + (
+        "\n".join(other) + "\n"
+    ).encode()
+
+
+def _listing_file() -> bytes:
+    """26/28-line directory listings with the last few lines different."""
+    first = [f"-rw-r--r-- 1 user staff {100 + 7 * i} file{i:02d}.c" for i in range(26)]
+    second = list(first[:23])
+    second += [f"-rw-r--r-- 1 user staff {900 + i} newfile{i}.c" for i in range(5)]
+    return ("\n".join(first) + "\n").encode() + bytes([28]) + (
+        "\n".join(second) + "\n"
+    ).encode()
+
+
+def build_spiff() -> Workload:
+    return Workload(
+        name="spiff",
+        category=C,
+        description="file comparison analog: line hashing + LCS dynamic "
+        "program + edit-script walk",
+        source=load_program_source("spiff.mf"),
+        datasets=[
+            Dataset("case1", "float files, scattered diffs", _float_file(1, 160, 12)),
+            Dataset("case2", "float files, few diffs", _float_file(2, 150, 4)),
+            Dataset("case3", "26/28-line directory listings", _listing_file()),
+        ],
+    )

@@ -1,0 +1,14 @@
+"""Shared fixtures.
+
+The session-scoped runner uses the repository's on-disk run cache
+(.repro-cache), so the expensive workload simulations happen once per
+machine, not once per test run.
+"""
+import pytest
+
+from repro.core.runner import WorkloadRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return WorkloadRunner()

@@ -1,0 +1,29 @@
+"""Shared test helpers."""
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler import CompiledProgram, CompileOptions, compile_source
+from repro.vm.counters import RunResult
+from repro.vm.machine import run_program
+
+
+def compile_and_run(
+    source: str,
+    input_data: bytes = b"",
+    options: Optional[CompileOptions] = None,
+    name: str = "test",
+) -> RunResult:
+    """Compile MF source and run it, returning the RunResult."""
+    program = compile_source(source, name=name, options=options)
+    return run_program(program.lowered, input_data=input_data)
+
+
+def run_main(source: str, input_data: bytes = b"", **kwargs) -> int:
+    """Compile, run, and return main's exit code."""
+    return compile_and_run(source, input_data=input_data, **kwargs).exit_code
+
+
+def compile_only(source: str, name: str = "test", **kwargs) -> CompiledProgram:
+    """Compile MF source without running it."""
+    return compile_source(source, name=name, **kwargs)

@@ -1,0 +1,104 @@
+"""CFG analysis tests: reverse postorder, dominators, loops."""
+from repro.compiler import CompileOptions, compile_source
+from repro.ir.analysis import (
+    back_edges,
+    dominators,
+    loop_headers,
+    natural_loop_blocks,
+    reachable_labels,
+)
+
+
+def function_of(source, name="main"):
+    program = compile_source(source, options=CompileOptions(enable_select=False))
+    return program.module.function(name)
+
+
+SIMPLE_LOOP = """
+func main() {
+    var i; var n = 0;
+    while (i < 10) { n += i; i += 1; }
+    return n;
+}
+"""
+
+NESTED_LOOPS = """
+func main() {
+    var i; var j; var n = 0;
+    for (i = 0; i < 4; i += 1) {
+        for (j = 0; j < 4; j += 1) {
+            if (j == 2) { n += 1; }
+        }
+    }
+    return n;
+}
+"""
+
+
+def test_reverse_postorder_starts_at_entry():
+    func = function_of(SIMPLE_LOOP)
+    order = reachable_labels(func)
+    assert order[0] == func.blocks[0].label
+    assert len(order) == len(set(order))
+
+
+def test_entry_dominates_everything():
+    func = function_of(SIMPLE_LOOP)
+    dom = dominators(func)
+    entry = func.blocks[0].label
+    for label, doms in dom.items():
+        assert entry in doms
+        assert label in doms  # reflexive
+
+
+def test_loop_header_dominates_body():
+    func = function_of(SIMPLE_LOOP)
+    dom = dominators(func)
+    headers = loop_headers(func)
+    assert len(headers) == 1
+    header = next(iter(headers))
+    members = natural_loop_blocks(func)
+    for label in members:
+        assert header in dom[label]
+
+
+def test_back_edges_point_at_headers():
+    func = function_of(SIMPLE_LOOP)
+    edges = back_edges(func)
+    assert len(edges) == 1
+    headers = loop_headers(func)
+    for _, header in edges:
+        assert header in headers
+
+
+def test_nested_loops_have_two_headers():
+    func = function_of(NESTED_LOOPS)
+    assert len(loop_headers(func)) == 2
+    # The inner loop's blocks are inside the outer loop's body set too.
+    assert len(natural_loop_blocks(func)) >= 5
+
+
+def test_straight_line_has_no_loops():
+    func = function_of("func main() { return 3; }")
+    assert back_edges(func) == set()
+    assert loop_headers(func) == set()
+    assert natural_loop_blocks(func) == set()
+
+
+def test_do_while_loop_detected():
+    func = function_of(
+        "func main() { var i = 0; do { i += 1; } while (i < 5); return i; }"
+    )
+    assert len(loop_headers(func)) == 1
+
+
+def test_unreachable_blocks_excluded_from_order():
+    source = """
+    func main() {
+        return 1;
+        return 2;
+    }
+    """
+    func = function_of(source)
+    order = reachable_labels(func)
+    assert len(order) <= len(func.blocks)

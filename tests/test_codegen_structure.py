@@ -1,0 +1,147 @@
+"""Codegen structure tests: the lowering decisions the paper depends on."""
+from repro.compiler import CompileOptions, compile_source
+from repro.ir import BinOp, Opcode
+from repro.ir.printer import format_function
+
+from tests.helpers import compile_and_run
+
+
+def branch_count(source, func="main", **kwargs):
+    program = compile_source(source, **kwargs)
+    return sum(
+        1
+        for instr in program.module.function(func).instructions()
+        if instr.op == Opcode.BR
+    )
+
+
+def test_short_circuit_and_produces_two_branches():
+    # Each && operand is its own conditional branch (cascade).
+    source = "func main() { if (getc() > 0 && getc() > 1) { return 1; } return 0; }"
+    assert branch_count(source) == 2
+
+
+def test_short_circuit_chain_produces_n_branches():
+    source = """
+    func main() {
+        if (getc() > 0 && getc() > 1 && getc() > 2 || getc() > 3) {
+            return 1;
+        }
+        return 0;
+    }
+    """
+    assert branch_count(source) == 4
+
+
+def test_not_flips_branch_without_extra_instruction():
+    positive = "func main() { if (getc() > 0) { return 1; } return 0; }"
+    negated = "func main() { if (!(getc() > 0)) { return 1; } return 0; }"
+    assert branch_count(positive) == branch_count(negated) == 1
+    # The negated form takes the opposite direction on the same input.
+    assert compile_and_run(positive, input_data=b"a").exit_code == 1
+    assert compile_and_run(negated, input_data=b"a").exit_code == 0
+
+
+def test_constant_condition_emits_no_branch():
+    source = "func main() { while (1) { return 7; } return 0; }"
+    assert branch_count(source) == 0
+    assert compile_and_run(source).exit_code == 7
+
+
+def test_switch_cascade_one_branch_per_case_value():
+    source = """
+    func main() {
+        switch (getc()) {
+        case 1: return 1;
+        case 2, 3: return 2;
+        case 9: return 3;
+        default: return 0;
+        }
+    }
+    """
+    # Values 1, 2, 3, 9: four cascaded equality branches.
+    assert branch_count(source) == 4
+
+
+def test_while_loop_branch_is_at_the_top():
+    source = "func main() { var i = 0; while (i < 3) { i += 1; } return i; }"
+    result = compile_and_run(source)
+    (executed, taken), = result.branch_counts().values()
+    assert (executed, taken) == (4, 3)  # 3 iterations + failing test
+
+
+def test_do_while_branch_is_at_the_bottom():
+    source = "func main() { var i = 0; do { i += 1; } while (i < 3); return i; }"
+    result = compile_and_run(source)
+    (executed, taken), = result.branch_counts().values()
+    assert (executed, taken) == (3, 2)  # tested once per iteration
+
+
+def test_branch_ids_are_in_source_order():
+    source = """
+    func main() {
+        if (getc() > 0) { }
+        if (getc() > 1) { }
+        while (getc() > 2) { }
+        return 0;
+    }
+    """
+    program = compile_source(source)
+    branches = [
+        instr.branch_id
+        for instr in program.module.function("main").instructions()
+        if instr.op == Opcode.BR
+    ]
+    assert [bid.index for bid in sorted(branches)] == [0, 1, 2]
+
+
+def test_global_compound_assignment_reads_then_writes():
+    source = """
+    var total = 5;
+    func main() { total += 3; total *= 2; return total; }
+    """
+    assert compile_and_run(source).exit_code == 16
+
+
+def test_select_instruction_appears_for_simple_if():
+    source = """
+    func main() {
+        var best = 0;
+        var c = getc();
+        if (c > best) { best = c; }
+        return best;
+    }
+    """
+    program = compile_source(source)
+    text = format_function(program.module.function("main"))
+    assert "select" in text
+    assert compile_and_run(source, input_data=b"A").exit_code == 65
+
+
+def test_unreachable_code_after_return_generates_no_executed_ops():
+    source = """
+    func main() {
+        return 5;
+        putc(1);
+        putc(2);
+    }
+    """
+    result = compile_and_run(source)
+    assert result.exit_code == 5
+    assert result.output == b""
+
+
+def test_bool_value_materialization():
+    source = "func main() { var v = getc() > 0 && getc() > 0; return v; }"
+    assert compile_and_run(source, input_data=b"ab").exit_code == 1
+    assert compile_and_run(source, input_data=b"").exit_code == 0
+
+
+def test_cascaded_comparison_operators_fold_to_flags():
+    program = compile_source("func main() { return getc() <= 10; }")
+    subops = [
+        instr.subop
+        for instr in program.module.function("main").instructions()
+        if instr.op == Opcode.BIN
+    ]
+    assert int(BinOp.LE) in subops

@@ -1,0 +1,142 @@
+"""Core runner and cross-dataset experiment machinery tests."""
+import pytest
+
+from repro.core.cache import (
+    DiskCache,
+    run_digest,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.core.experiment import CrossDatasetExperiment
+from repro.core.runner import WorkloadRunner
+
+
+def test_run_results_are_memoized_in_process(runner):
+    first = runner.run("lfk", "default")
+    second = runner.run("lfk", "default")
+    assert first is second
+
+
+def test_disk_cache_round_trip(tmp_path, runner):
+    result = runner.run("lfk", "default")
+    cache = DiskCache(str(tmp_path))
+    cache.store("abc", result)
+    loaded = cache.load("abc")
+    assert loaded is not None
+    assert loaded.instructions == result.instructions
+    assert loaded.branch_exec == result.branch_exec
+    assert loaded.branch_table == result.branch_table
+    assert loaded.output == result.output
+
+
+def test_disk_cache_miss_and_corrupt_entry(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    assert cache.load("missing") is None
+    (tmp_path / "bad.json").write_text("{not json")
+    assert cache.load("bad") is None
+
+
+def test_disk_cache_disabled():
+    cache = DiskCache(None)
+    assert cache.load("x") is None
+    cache.store("x", None)  # no-op, must not raise
+
+
+def test_run_result_serialization_is_lossless(runner):
+    result = runner.run("doduc", "tiny")
+    restored = run_result_from_dict(run_result_to_dict(result))
+    assert restored.program == result.program
+    assert restored.instructions == result.instructions
+    assert restored.branch_taken == result.branch_taken
+    assert restored.events == result.events
+    assert restored.exit_code == result.exit_code
+
+
+def test_run_digest_sensitivity():
+    base = run_digest("src", b"input", "dce=False")
+    assert run_digest("src2", b"input", "dce=False") != base
+    assert run_digest("src", b"input2", "dce=False") != base
+    assert run_digest("src", b"input", "dce=True") != base
+    assert run_digest("src", b"input", "dce=False") == base
+
+
+def test_disk_cache_used_across_runner_instances(tmp_path):
+    first = WorkloadRunner(cache_dir=str(tmp_path))
+    result = first.run("lfk", "default")
+    # A fresh runner with the same cache dir must load, not re-simulate.
+    second = WorkloadRunner(cache_dir=str(tmp_path))
+    from repro.core.runner import RunConfig
+
+    digest = run_digest(
+        second.workload("lfk").source,
+        second.workload("lfk").dataset("default").data,
+        RunConfig().tag(),
+    )
+    assert second._disk.load(digest) is not None
+    reloaded = second.run("lfk", "default")
+    assert reloaded.instructions == result.instructions
+
+
+def test_runner_profile_matches_run(runner):
+    result = runner.run("doduc", "tiny")
+    profile = runner.profile("doduc", "tiny")
+    assert profile.total_executed == float(result.total_branch_execs)
+    assert profile.total_taken == float(result.total_branch_taken)
+
+
+def test_monitored_runs_bypass_cache(runner):
+    from repro.vm.monitors import OnlinePredictorMonitor
+
+    monitor = OnlinePredictorMonitor(num_bits=2)
+    result = runner.run("lfk", "default", monitors=[monitor])
+    assert monitor.hits + monitor.misses == result.total_branch_execs
+
+
+class TestCrossDatasetExperiment:
+    @pytest.fixture(scope="class")
+    def doduc(self, runner):
+        return CrossDatasetExperiment(runner, "doduc")
+
+    def test_dataset_names(self, doduc):
+        assert doduc.dataset_names() == ["tiny", "small", "ref"]
+
+    def test_self_prediction_is_upper_bound(self, doduc):
+        for target in doduc.dataset_names():
+            self_ipb = doduc.ipb(target, doduc.self_predictor(target))
+            for other in doduc.dataset_names():
+                if other == target:
+                    continue
+                cross = doduc.ipb(target, doduc.single_predictor(other))
+                assert cross <= self_ipb + 1e-9
+
+    def test_combined_predictor_excludes_target(self, doduc):
+        predictor = doduc.combined_predictor("tiny")
+        # Its profile totals must equal the sum of the scaled others: each
+        # dataset contributes weight 1 after scaling.
+        assert predictor.profile.total_executed == pytest.approx(2.0)
+
+    def test_dataset_prediction_fields(self, doduc):
+        prediction = doduc.dataset_prediction("ref")
+        assert prediction.workload == "doduc"
+        assert prediction.ipb_self >= prediction.ipb_combined > 0
+        assert 0 < prediction.combined_fraction_of_self <= 1.0
+        assert prediction.ipb_unpredicted < prediction.ipb_combined
+
+    def test_best_worst_bounds(self, doduc):
+        for target in doduc.dataset_names():
+            best_worst = doduc.best_worst(target)
+            assert best_worst.worst_percent <= best_worst.best_percent
+            assert best_worst.best_percent <= 100.0 + 1e-9
+            assert best_worst.best_other != target
+            assert best_worst.worst_other != target
+
+    def test_pairwise_matrix_diagonal_is_self(self, doduc):
+        matrix = doduc.pairwise_matrix()
+        for target in doduc.dataset_names():
+            self_ipb = doduc.ipb(target, doduc.self_predictor(target))
+            assert matrix[(target, target)] == pytest.approx(self_ipb)
+
+    def test_best_worst_requires_multiple_datasets(self, runner):
+        experiment = CrossDatasetExperiment(runner, "lfk")
+        with pytest.raises(ValueError, match="2\\+ datasets"):
+            experiment.best_worst("default")

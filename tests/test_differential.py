@@ -1,0 +1,200 @@
+"""Differential testing: random MF programs, reference interpreter vs the
+full compile-optimize-lower-execute pipeline, under every configuration.
+
+The reference interpreter (tests/reference_interp.py) walks the AST and
+shares nothing with the production pipeline beyond the parser, so agreement
+on outputs, exit codes and faults is strong evidence both are right.
+"""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompileOptions, compile_source
+from repro.opt import OptOptions
+from repro.vm.errors import VMError
+from repro.vm.machine import Machine
+
+from tests.reference_interp import ReferenceFault, ReferenceInterpreter
+
+CONFIGS = [
+    CompileOptions.paper_default(),
+    CompileOptions.with_dce(),
+    CompileOptions.unoptimized(),
+    CompileOptions(inline=True),
+    CompileOptions(opt=OptOptions(if_conversion=True)),
+]
+
+# --- program generator ----------------------------------------------------------
+
+_VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3 or draw(st.integers(0, 2)) == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(0, 200)))
+        if choice == 1:
+            return draw(st.sampled_from(_VARS))
+        return f"buf[{draw(st.integers(0, 7))}]"
+    kind = draw(
+        st.sampled_from(["bin", "cmp", "logic", "not", "neg", "mod", "getc"])
+    )
+    if kind == "getc":
+        return "getc()"
+    left = draw(expressions(depth=depth + 1))
+    if kind == "not":
+        return f"(!{left})"
+    if kind == "neg":
+        return f"(-{left})"
+    right = draw(expressions(depth=depth + 1))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    elif kind == "cmp":
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    elif kind == "logic":
+        op = draw(st.sampled_from(["&&", "||"]))
+    else:
+        # Guard against division faults: divide by a non-zero literal.
+        divisor = draw(st.integers(1, 9))
+        op_text = draw(st.sampled_from(["/", "%"]))
+        return f"({left} {op_text} {divisor})"
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def statements(draw, depth, budget):
+    """One statement; ``budget`` caps loop trip counts for termination."""
+    kind = draw(
+        st.sampled_from(
+            ["assign", "assign", "array", "if", "if", "while", "for",
+             "switch", "putc"]
+            if depth < 2
+            else ["assign", "array", "putc"]
+        )
+    )
+    if kind == "assign":
+        var = draw(st.sampled_from(_VARS))
+        op = draw(st.sampled_from(["=", "+=", "-=", "^=", "&="]))
+        return f"{var} {op} {draw(expressions())};"
+    if kind == "array":
+        return f"buf[{draw(st.integers(0, 7))}] = {draw(expressions())};"
+    if kind == "putc":
+        return f"putc({draw(expressions())});"
+    if kind == "if":
+        cond = draw(expressions())
+        then_body = draw(blocks(depth + 1, budget))
+        if draw(st.booleans()):
+            else_body = draw(blocks(depth + 1, budget))
+            return f"if ({cond}) {{ {then_body} }} else {{ {else_body} }}"
+        return f"if ({cond}) {{ {then_body} }}"
+    if kind == "while":
+        trips = draw(st.integers(1, budget))
+        body = draw(blocks(depth + 1, budget))
+        # Bounded loop over a dedicated counter to guarantee termination.
+        counter = f"w{depth}"
+        return (
+            f"{counter} = 0; "
+            f"while ({counter} < {trips}) {{ {counter} += 1; {body} }}"
+        )
+    if kind == "for":
+        trips = draw(st.integers(1, budget))
+        body = draw(blocks(depth + 1, budget))
+        counter = f"f{depth}"
+        return f"for ({counter} = 0; {counter} < {trips}; {counter} += 1) {{ {body} }}"
+    # switch
+    scrutinee = draw(expressions())
+    arms = []
+    values = draw(
+        st.lists(st.integers(0, 6), min_size=1, max_size=3, unique=True)
+    )
+    for value in values:
+        arm_body = draw(blocks(depth + 1, budget))
+        terminator = draw(st.sampled_from(["break;", ""]))
+        arms.append(f"case {value}: {arm_body} {terminator}")
+    if draw(st.booleans()):
+        arms.append(f"default: {draw(blocks(depth + 1, budget))}")
+    return f"switch ({scrutinee}) {{ {' '.join(arms)} }}"
+
+
+@st.composite
+def blocks(draw, depth, budget=6):
+    count = draw(st.integers(1, 3 if depth < 2 else 2))
+    return " ".join(draw(statements(depth, budget)) for _ in range(count))
+
+
+@st.composite
+def programs(draw):
+    body = draw(blocks(0))
+    helper_body = draw(blocks(1))
+    return f"""
+    var g;
+    arr buf[8];
+    func helper(a, b) {{
+        var c; var d; var w1; var w2; var f1; var f2;
+        {helper_body}
+        return a + b + c + d;
+    }}
+    func main() {{
+        var a; var b; var c; var d;
+        var w0; var w1; var w2; var f0; var f1; var f2;
+        {body}
+        a = helper(a, b);
+        putc(a & 255);
+        putc(c & 255);
+        putc(d & 255);
+        putc(buf[3] & 255);
+        return (a ^ b ^ c ^ d) & 127;
+    }}
+    """
+
+
+def run_reference(source, data):
+    interp = ReferenceInterpreter(source)
+    try:
+        return interp.run(input_data=data)
+    except ReferenceFault as fault:
+        return ("fault", str(fault))
+
+
+def run_pipeline(source, data, options):
+    compiled = compile_source(source, options=options)
+    machine = Machine(max_instructions=5_000_000)
+    try:
+        result = machine.run(compiled.lowered, input_data=data)
+        return result.exit_code, result.output
+    except VMError as fault:
+        return ("fault", "vm")
+
+
+@given(programs(), st.binary(max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_pipeline_matches_reference_interpreter(source, data):
+    expected = run_reference(source, data)
+    for options in CONFIGS:
+        actual = run_pipeline(source, data, options)
+        if isinstance(expected, tuple) and expected[0] == "fault":
+            assert isinstance(actual, tuple) and actual[0] == "fault", (
+                source, data, expected, actual,
+            )
+        else:
+            assert actual == expected, (source, data, options)
+
+
+@given(programs(), st.binary(max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_branch_counts_agree_across_scalar_configs(source, data):
+    """Scalar optimizations must not change any branch's (exec, taken)."""
+    default = compile_source(source)
+    unopt = compile_source(source, options=CompileOptions.unoptimized())
+    machine = Machine(max_instructions=5_000_000)
+    try:
+        counts_default = machine.run(
+            default.lowered, input_data=data
+        ).branch_counts()
+        counts_unopt = machine.run(
+            unopt.lowered, input_data=data
+        ).branch_counts()
+    except VMError:
+        return  # fault paths are covered by the other property
+    assert counts_default == counts_unopt

@@ -1,0 +1,67 @@
+"""IFPROB directive parsing and feedback tests."""
+import pytest
+
+from repro.ir.instructions import BranchId
+from repro.lang import (
+    LangError,
+    apply_feedback,
+    format_directives,
+    parse_directives,
+    strip_feedback,
+)
+
+
+def test_parse_single_directive():
+    counts = parse_directives(["IFPROB(main, 0, 100, 42)"])
+    assert counts == {BranchId("main", 0): (100, 42)}
+
+
+def test_parse_accumulates_duplicates():
+    counts = parse_directives(
+        ["IFPROB(f, 1, 10, 2)", "IFPROB(f, 1, 30, 8)"]
+    )
+    assert counts == {BranchId("f", 1): (40, 10)}
+
+
+def test_parse_rejects_taken_above_executed():
+    with pytest.raises(LangError, match="exceeds"):
+        parse_directives(["IFPROB(f, 0, 5, 9)"])
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(LangError, match="unrecognized"):
+        parse_directives(["FROBNICATE(1)"])
+
+
+def test_blank_directives_ignored():
+    assert parse_directives(["", "  "]) == {}
+
+
+def test_format_is_sorted_and_parsable():
+    counts = {
+        BranchId("z", 1): (5, 5),
+        BranchId("a", 0): (10, 3),
+    }
+    text = format_directives(counts)
+    lines = text.splitlines()
+    assert lines[0] == "//!MF! IFPROB(a, 0, 10, 3)"
+    assert lines[1] == "//!MF! IFPROB(z, 1, 5, 5)"
+    reparsed = parse_directives(
+        line[len("//!MF!"):].strip() for line in lines
+    )
+    assert reparsed == counts
+
+
+def test_apply_feedback_replaces_existing():
+    source = "//!MF! IFPROB(main, 0, 1, 1)\nfunc main() { }\n"
+    updated = apply_feedback(source, {BranchId("main", 0): (7, 2)})
+    assert updated.count("IFPROB") == 1
+    assert "IFPROB(main, 0, 7, 2)" in updated
+    assert "func main()" in updated
+
+
+def test_strip_feedback_removes_all():
+    source = "//!MF! IFPROB(main, 0, 1, 1)\nfunc main() { }\n"
+    stripped = strip_feedback(source)
+    assert "IFPROB" not in stripped
+    assert "func main()" in stripped

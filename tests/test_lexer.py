@@ -1,0 +1,98 @@
+"""Lexer unit tests."""
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    tokens, _ = tokenize(source)
+    return [t.kind for t in tokens]
+
+
+def values(source):
+    tokens, _ = tokenize(source)
+    return [t.value for t in tokens[:-1]]  # drop eof
+
+
+def test_empty_source_yields_only_eof():
+    tokens, directives = tokenize("")
+    assert [t.kind for t in tokens] == ["eof"]
+    assert directives == []
+
+
+def test_integers_and_identifiers():
+    assert values("abc 123 x9_ 0") == ["abc", 123, "x9_", 0]
+
+
+def test_hex_literals():
+    assert values("0x10 0xff 0XAB") == [16, 255, 171]
+
+
+def test_malformed_hex_raises():
+    with pytest.raises(LangError):
+        tokenize("0x")
+
+
+def test_keywords_are_classified():
+    tokens, _ = tokenize("if while var foo func")
+    assert [t.kind for t in tokens[:-1]] == [
+        "keyword", "keyword", "keyword", "ident", "keyword",
+    ]
+
+
+def test_char_literals():
+    assert values("'a' '0' '\\n' '\\t' '\\\\' '\\''") == [97, 48, 10, 9, 92, 39]
+
+
+def test_unterminated_char_literal_raises():
+    with pytest.raises(LangError):
+        tokenize("'a")
+
+
+def test_bad_escape_raises():
+    with pytest.raises(LangError):
+        tokenize("'\\q'")
+
+
+def test_multichar_operators_lex_greedily():
+    assert values("a<<=b") == ["a", "<<=", "b"]
+    assert values("a<<b") == ["a", "<<", "b"]
+    assert values("a<=b==c&&d") == ["a", "<=", "b", "==", "c", "&&", "d"]
+
+
+def test_line_comment_is_skipped():
+    assert values("a // comment\n b") == ["a", "b"]
+
+
+def test_block_comment_is_skipped_and_lines_tracked():
+    tokens, _ = tokenize("a /* one\ntwo */ b")
+    assert [t.value for t in tokens[:-1]] == ["a", "b"]
+    assert tokens[1].line == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LangError):
+        tokenize("a /* never ends")
+
+
+def test_directive_comments_are_collected():
+    _, directives = tokenize("//!MF! IFPROB(main, 0, 10, 3)\nvar x;")
+    assert directives == ["IFPROB(main, 0, 10, 3)"]
+
+
+def test_plain_comments_are_not_directives():
+    _, directives = tokenize("// IFPROB(main, 0, 10, 3)\n")
+    assert directives == []
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LangError) as excinfo:
+        tokenize("var $x;")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_line_and_column_tracking():
+    tokens, _ = tokenize("ab\n  cd")
+    assert tokens[0].line == 1 and tokens[0].col == 1
+    assert tokens[1].line == 2 and tokens[1].col == 3

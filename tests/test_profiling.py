@@ -1,0 +1,145 @@
+"""Branch profile and database tests."""
+import pytest
+
+from repro.ir.instructions import BranchId
+from repro.profiling import BranchProfile, IfProbber, ProfileDatabase
+
+from tests.helpers import compile_and_run
+
+BIASED_LOOP = """
+func main() {
+    var i; var n = 0;
+    for (i = 0; i < 20; i += 1) {
+        if (i % 4 == 0) { n += 1; }
+    }
+    return n;
+}
+"""
+
+
+def test_profile_from_run_counts():
+    run = compile_and_run(BIASED_LOOP)
+    profile = BranchProfile.from_run(run)
+    assert profile.runs == 1
+    loop_branch = BranchId("main", 0)
+    inner_branch = BranchId("main", 1)
+    assert profile.counts[loop_branch] == (21.0, 20.0)
+    assert profile.counts[inner_branch] == (20.0, 5.0)
+
+
+def test_profile_directions():
+    run = compile_and_run(BIASED_LOOP)
+    profile = BranchProfile.from_run(run)
+    assert profile.direction(BranchId("main", 0)) is True
+    assert profile.direction(BranchId("main", 1)) is False
+    assert profile.direction(BranchId("main", 99)) is None
+
+
+def test_direction_tie_predicts_not_taken():
+    profile = BranchProfile(program="p")
+    profile.counts[BranchId("f", 0)] = (10.0, 5.0)
+    assert profile.direction(BranchId("f", 0)) is False
+
+
+def test_add_run_accumulates():
+    run = compile_and_run(BIASED_LOOP)
+    profile = BranchProfile.from_run(run)
+    profile.add_run(run)
+    assert profile.runs == 2
+    assert profile.counts[BranchId("main", 0)] == (42.0, 40.0)
+
+
+def test_add_run_program_mismatch_raises():
+    run = compile_and_run(BIASED_LOOP, name="a")
+    other = compile_and_run(BIASED_LOOP, name="b")
+    profile = BranchProfile.from_run(run)
+    with pytest.raises(ValueError):
+        profile.add_run(other)
+
+
+def test_weighted_add_profile():
+    run = compile_and_run(BIASED_LOOP)
+    base = BranchProfile.from_run(run)
+    combined = BranchProfile(program=run.program)
+    combined.add_profile(base, weight=0.5)
+    assert combined.counts[BranchId("main", 0)] == (10.5, 10.0)
+
+
+def test_percent_taken():
+    run = compile_and_run(BIASED_LOOP)
+    profile = BranchProfile.from_run(run)
+    assert profile.percent_taken() == pytest.approx(25 / 41)
+
+
+def test_profile_round_trips_through_dict():
+    run = compile_and_run(BIASED_LOOP)
+    profile = BranchProfile.from_run(run)
+    restored = BranchProfile.from_dict(profile.to_dict())
+    assert restored.counts == profile.counts
+    assert restored.program == profile.program
+    assert restored.runs == profile.runs
+
+
+def test_database_record_and_query():
+    database = ProfileDatabase()
+    run = compile_and_run(BIASED_LOOP, name="prog")
+    database.record(run, "d1")
+    database.record(run, "d1")
+    database.record(run, "d2")
+    assert database.programs() == ["prog"]
+    assert database.datasets("prog") == ["d1", "d2"]
+    assert database.dataset_profile("prog", "d1").runs == 2
+    merged = database.program_profile("prog")
+    assert merged.counts[BranchId("main", 0)] == (63.0, 60.0)
+
+
+def test_database_leave_one_out():
+    database = ProfileDatabase()
+    run = compile_and_run(BIASED_LOOP, name="prog")
+    database.record(run, "d1")
+    database.record(run, "d2")
+    loo = database.program_profile("prog", exclude="d2")
+    assert loo.counts[BranchId("main", 0)] == (21.0, 20.0)
+
+
+def test_database_missing_profile_raises():
+    with pytest.raises(KeyError):
+        ProfileDatabase().dataset_profile("nope", "d")
+
+
+def test_database_persistence(tmp_path):
+    database = ProfileDatabase()
+    run = compile_and_run(BIASED_LOOP, name="prog")
+    database.record(run, "d1")
+    path = str(tmp_path / "profiles.json")
+    database.save(path)
+    loaded = ProfileDatabase.load(path)
+    assert loaded.dataset_profile("prog", "d1").counts == (
+        database.dataset_profile("prog", "d1").counts
+    )
+
+
+def test_ifprobber_full_feedback_loop():
+    probber = IfProbber(BIASED_LOOP, name="prog")
+    probber.run_dataset("d1", b"")
+    feedback_source = probber.feedback_source()
+    assert "IFPROB(main, 0, 21, 20)" in feedback_source
+
+    # Recompiling the feedback source recovers the same profile.
+    from repro.compiler import compile_source
+    from repro.profiling import profile_from_feedback
+
+    recompiled = compile_source(feedback_source, name="prog")
+    recovered = profile_from_feedback(recompiled)
+    assert recovered.counts[BranchId("main", 0)] == (21.0, 20.0)
+    assert recovered.counts[BranchId("main", 1)] == (20.0, 5.0)
+
+
+def test_ifprobber_feedback_is_idempotent():
+    probber = IfProbber(BIASED_LOOP, name="prog")
+    probber.run_dataset("d1", b"")
+    once = probber.feedback_source()
+    probber_again = IfProbber(once, name="prog")
+    probber_again.run_dataset("d1", b"")
+    twice = probber_again.feedback_source()
+    assert once.count("IFPROB") == twice.count("IFPROB")

@@ -1,0 +1,41 @@
+"""Property test: the MF compress workload is a correct LZW codec.
+
+For arbitrary byte strings, decompressing the compressed stream must return
+the original — executing both directions inside the VM.
+"""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_source
+from repro.vm.machine import run_program
+from repro.workloads.base import load_program_source
+
+_PROGRAM = None
+
+
+def _program():
+    global _PROGRAM
+    if _PROGRAM is None:
+        _PROGRAM = compile_source(
+            load_program_source("compress.mf"), name="compress"
+        ).lowered
+    return _PROGRAM
+
+
+@given(st.binary(min_size=0, max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_lzw_round_trip(data):
+    compressed = run_program(_program(), input_data=b"C" + data).output
+    restored = run_program(_program(), input_data=b"D" + compressed).output
+    assert restored == data
+
+
+@given(st.integers(min_value=1, max_value=5), st.binary(min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_lzw_round_trip_repetitive(repeats, unit):
+    # Highly repetitive inputs exercise the KwKwK special case.
+    data = unit * (repeats * 40)
+    compressed = run_program(_program(), input_data=b"C" + data).output
+    restored = run_program(_program(), input_data=b"D" + compressed).output
+    assert restored == data
+    assert len(compressed) < len(data)  # repetition must actually compress

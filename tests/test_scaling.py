@@ -1,0 +1,51 @@
+"""Dataset-scale experiment tests."""
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.fixture(scope="module")
+def result(runner):
+    return scaling.run(runner)
+
+
+def test_pair_count_matches_coverage_pairs(runner, result):
+    from repro.workloads import multi_dataset_workloads
+
+    expected = sum(
+        len(wl.datasets) * (len(wl.datasets) - 1)
+        for wl in multi_dataset_workloads()
+    )
+    assert len(result.pairs) == expected
+
+
+def test_length_ratios_are_reciprocal(result):
+    by_key = {
+        (pair.workload, pair.predictor, pair.target): pair.length_ratio
+        for pair in result.pairs
+    }
+    for (workload, predictor, target), ratio in by_key.items():
+        assert by_key[(workload, target, predictor)] == pytest.approx(
+            1.0 / ratio
+        )
+
+
+def test_spice_worst_case_is_dramatic(result):
+    worst = result.worst_spice_pair()
+    assert worst.quality < 0.4
+
+
+def test_short_run_predicting_long_run_is_among_spice_worst(result):
+    """The paper's observation, compressed: predicting a much longer run
+    with a much shorter one shows up among spice's bad pairs."""
+    bad = [pair for pair in result.spice_pairs() if pair.quality < 0.35]
+    assert any(pair.length_ratio > 10 for pair in bad)
+
+
+def test_correlation_is_valid(result):
+    assert -1.0 <= result.correlation <= 1.0
+
+
+def test_formatting(result):
+    text = result.format_text()
+    assert "quality" in text and "20,000x" in text

@@ -1,0 +1,126 @@
+"""Semantic analysis tests."""
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.parser import parse_source
+from repro.lang.sema import analyze
+
+
+def analyze_source(source):
+    return analyze(parse_source(source))
+
+
+def test_missing_main_raises():
+    with pytest.raises(LangError, match="main"):
+        analyze_source("func f() { }")
+
+
+def test_main_with_params_raises():
+    with pytest.raises(LangError, match="main"):
+        analyze_source("func main(x) { }")
+
+
+def test_undefined_variable_raises():
+    with pytest.raises(LangError, match="undefined"):
+        analyze_source("func main() { var x = y; }")
+
+
+def test_duplicate_local_raises():
+    with pytest.raises(LangError, match="duplicate"):
+        analyze_source("func main() { var x; var x; }")
+
+
+def test_local_declared_in_nested_block_is_function_scoped():
+    info = analyze_source("func main() { if (1) { var x = 1; } }")
+    assert "x" in info.locals_by_function["main"]
+
+
+def test_duplicate_local_across_blocks_raises():
+    with pytest.raises(LangError, match="duplicate"):
+        analyze_source("func main() { if (1) { var x; } else { var x; } }")
+
+
+def test_duplicate_global_raises():
+    with pytest.raises(LangError, match="duplicate"):
+        analyze_source("var g; arr g[4]; func main() { }")
+
+
+def test_function_shadowing_global_raises():
+    with pytest.raises(LangError, match="duplicate"):
+        analyze_source("var f; func f() { } func main() { }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(LangError, match="args"):
+        analyze_source("func f(a, b) { } func main() { f(1); }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(LangError, match="args"):
+        analyze_source("func main() { putc(1, 2); }")
+
+
+def test_call_through_variable_is_allowed():
+    info = analyze_source("func f() { } func main() { var g = &f; g(); }")
+    assert info.functions["f"] == 0
+
+
+def test_call_to_unknown_name_raises():
+    with pytest.raises(LangError, match="undefined function"):
+        analyze_source("func main() { nosuch(); }")
+
+
+def test_array_used_as_scalar_raises():
+    with pytest.raises(LangError, match="used as a value"):
+        analyze_source("arr a[4]; func main() { var x = a; }")
+
+
+def test_scalar_indexed_raises():
+    with pytest.raises(LangError, match="not an array"):
+        analyze_source("var g; func main() { var x = g[0]; }")
+
+
+def test_assign_to_array_name_raises():
+    with pytest.raises(LangError, match="directly"):
+        analyze_source("arr a[4]; func main() { a = 3; }")
+
+
+def test_function_used_as_value_raises():
+    with pytest.raises(LangError, match="used as a value"):
+        analyze_source("func f() { } func main() { var x = f; }")
+
+
+def test_funcref_to_variable_raises():
+    with pytest.raises(LangError, match="non-function"):
+        analyze_source("var g; func main() { var x = &g; }")
+
+
+def test_break_outside_loop_raises():
+    with pytest.raises(LangError, match="break"):
+        analyze_source("func main() { break; }")
+
+
+def test_continue_outside_loop_raises():
+    with pytest.raises(LangError, match="continue"):
+        analyze_source("func main() { continue; }")
+
+
+def test_continue_inside_switch_only_raises():
+    with pytest.raises(LangError, match="continue"):
+        analyze_source("func main() { switch (1) { case 1: continue; } }")
+
+
+def test_break_inside_switch_is_allowed():
+    analyze_source("func main() { switch (1) { case 1: break; } }")
+
+
+def test_duplicate_case_values_raise():
+    with pytest.raises(LangError, match="duplicate case"):
+        analyze_source(
+            "func main() { switch (1) { case 1: break; case 1: break; } }"
+        )
+
+
+def test_locals_include_params_first():
+    info = analyze_source("func f(a, b) { var c; } func main() { }")
+    assert info.locals_by_function["f"] == ["a", "b", "c"]

@@ -1,0 +1,385 @@
+"""End-to-end language semantics: compile and execute MF programs.
+
+These are the ground-truth tests for the whole toolchain: front end,
+optimizer (default configuration) and virtual machine together.
+"""
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.vm.errors import VMError
+
+from tests.helpers import compile_and_run, run_main
+
+ALL_CONFIGS = [
+    CompileOptions.paper_default(),
+    CompileOptions.with_dce(),
+    CompileOptions.unoptimized(),
+]
+
+
+@pytest.fixture(params=ALL_CONFIGS, ids=["default", "dce", "unopt"])
+def options(request):
+    """Semantics must not depend on the optimization configuration."""
+    return request.param
+
+
+def test_return_constant(options):
+    assert run_main("func main() { return 42; }", options=options) == 42
+
+
+def test_arithmetic(options):
+    assert run_main(
+        "func main() { return (2 + 3) * 4 - 10 / 2; }", options=options
+    ) == 15
+
+
+def test_c_style_division_truncates_toward_zero(options):
+    assert run_main("func main() { return -7 / 2; }", options=options) == -3
+    assert run_main("func main() { return 7 / -2; }", options=options) == -3
+    assert run_main("func main() { return -7 % 2; }", options=options) == -1
+    assert run_main("func main() { return 7 % -2; }", options=options) == 1
+
+
+def test_bitwise_and_shifts(options):
+    assert run_main(
+        "func main() { return (12 & 10) | (1 << 4) ^ 3; }", options=options
+    ) == ((12 & 10) | (1 << 4) ^ 3)
+    assert run_main("func main() { return -16 >> 2; }", options=options) == -4
+    assert run_main("func main() { return ~5; }", options=options) == -6
+
+
+def test_comparisons_produce_zero_or_one(options):
+    assert run_main("func main() { return (3 < 5) + (5 <= 5) + (6 > 9); }",
+                    options=options) == 2
+
+
+def test_logical_not(options):
+    assert run_main("func main() { return !0 + !7; }", options=options) == 1
+
+
+def test_unary_minus(options):
+    assert run_main("func main() { var x = 5; return -x; }", options=options) == -5
+
+
+def test_globals_and_arrays(options):
+    source = """
+    var g = 7;
+    arr a[8] = {10, 20, 30};
+    func main() {
+        g = g + a[1];
+        a[3] = g;
+        return a[3] + a[0] + a[7];
+    }
+    """
+    assert run_main(source, options=options) == 37
+
+
+def test_while_loop(options):
+    source = """
+    func main() {
+        var i = 0; var sum = 0;
+        while (i < 10) { sum += i; i += 1; }
+        return sum;
+    }
+    """
+    assert run_main(source, options=options) == 45
+
+
+def test_do_while_executes_at_least_once(options):
+    source = """
+    func main() {
+        var n = 0;
+        do { n += 1; } while (0);
+        return n;
+    }
+    """
+    assert run_main(source, options=options) == 1
+
+
+def test_for_loop_with_break_and_continue(options):
+    source = """
+    func main() {
+        var i; var sum = 0;
+        for (i = 0; i < 100; i += 1) {
+            if (i == 10) { break; }
+            if (i % 2 == 1) { continue; }
+            sum += i;
+        }
+        return sum;
+    }
+    """
+    assert run_main(source, options=options) == 0 + 2 + 4 + 6 + 8
+
+
+def test_nested_loops_break_binds_innermost(options):
+    source = """
+    func main() {
+        var i; var j; var count = 0;
+        for (i = 0; i < 3; i += 1) {
+            for (j = 0; j < 10; j += 1) {
+                if (j == 2) { break; }
+                count += 1;
+            }
+        }
+        return count;
+    }
+    """
+    assert run_main(source, options=options) == 6
+
+
+def test_short_circuit_and_skips_rhs(options):
+    source = """
+    var effects;
+    func bump() { effects += 1; return 1; }
+    func main() {
+        if (0 && bump()) { return 99; }
+        if (1 && bump()) { }
+        return effects;
+    }
+    """
+    assert run_main(source, options=options) == 1
+
+
+def test_short_circuit_or_skips_rhs(options):
+    source = """
+    var effects;
+    func bump() { effects += 1; return 0; }
+    func main() {
+        if (1 || bump()) { }
+        if (0 || bump()) { return 99; }
+        return effects;
+    }
+    """
+    assert run_main(source, options=options) == 1
+
+
+def test_logical_as_value(options):
+    source = """
+    func main() {
+        var a = 3 && 0;
+        var b = 3 && 2;
+        var c = 0 || 0;
+        var d = 0 || 9;
+        return a * 1000 + b * 100 + c * 10 + d;
+    }
+    """
+    assert run_main(source, options=options) == 101
+
+
+def test_switch_dispatch_and_default(options):
+    source = """
+    func pick(x) {
+        switch (x) {
+        case 1: return 10;
+        case 2, 3: return 20;
+        default: return -1;
+        }
+    }
+    func main() {
+        return pick(1) * 1000 + pick(3) * 10 + (pick(9) == -1);
+    }
+    """
+    assert run_main(source, options=options) == 10201
+
+
+def test_switch_fallthrough(options):
+    source = """
+    func main() {
+        var n = 0;
+        switch (2) {
+        case 1: n += 1;
+        case 2: n += 10;
+        case 3: n += 100;
+        break;
+        case 4: n += 1000;
+        }
+        return n;
+    }
+    """
+    assert run_main(source, options=options) == 110
+
+
+def test_switch_default_position_is_matched_last(options):
+    source = """
+    func main() {
+        var n = 0;
+        switch (5) {
+        case 1: n = 1; break;
+        default: n = 7; break;
+        case 5: n = 5; break;
+        }
+        return n;
+    }
+    """
+    assert run_main(source, options=options) == 5
+
+
+def test_recursion(options):
+    source = """
+    func fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    func main() { return fib(12); }
+    """
+    assert run_main(source, options=options) == 144
+
+
+def test_mutual_recursion(options):
+    source = """
+    func is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+    func is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+    func main() { return is_even(10) * 10 + is_odd(7); }
+    """
+    assert run_main(source, options=options) == 11
+
+
+def test_indirect_call_through_variable(options):
+    source = """
+    func double(x) { return 2 * x; }
+    func triple(x) { return 3 * x; }
+    func main() {
+        var f = &double;
+        var a = f(10);
+        f = &triple;
+        return a + f(10);
+    }
+    """
+    assert run_main(source, options=options) == 50
+
+
+def test_indirect_call_through_table(options):
+    source = """
+    arr ops[2];
+    func inc(x) { return x + 1; }
+    func dec(x) { return x - 1; }
+    func main() {
+        ops[0] = &inc;
+        ops[1] = &dec;
+        return ops[0](10) * 100 + ops[1](10);
+    }
+    """
+    assert run_main(source, options=options) == 1109
+
+
+def test_indirect_calls_counted_as_events(options):
+    source = """
+    func f() { return 1; }
+    func main() { var g = &f; return g() + g(); }
+    """
+    result = compile_and_run(source, options=options)
+    assert result.events.indirect_calls == 2
+    assert result.events.indirect_returns == 2
+    assert result.events.direct_calls == 0
+
+
+def test_getc_putc_roundtrip(options):
+    source = """
+    func main() {
+        var c = getc();
+        while (c != -1) {
+            putc(c);
+            c = getc();
+        }
+        return 0;
+    }
+    """
+    result = compile_and_run(source, input_data=b"hello", options=options)
+    assert result.output == b"hello"
+
+
+def test_getc_returns_minus_one_at_eof(options):
+    assert run_main("func main() { return getc(); }", options=options) == -1
+
+
+def test_halt_stops_program(options):
+    source = """
+    func main() {
+        putc('a');
+        halt;
+    }
+    """
+    result = compile_and_run(source, options=options)
+    assert result.output == b"a"
+    assert result.exit_code == 0
+
+
+def test_compound_assignment_on_array_element(options):
+    source = """
+    arr a[4] = {5};
+    func main() { a[0] *= 3; a[0] += 1; return a[0]; }
+    """
+    assert run_main(source, options=options) == 16
+
+
+def test_function_falls_off_end_returns_zero(options):
+    source = "func f() { } func main() { return f() + 5; }"
+    assert run_main(source, options=options) == 5
+
+
+def test_statements_after_return_are_dead(options):
+    source = """
+    func main() {
+        return 1;
+        return 2;
+    }
+    """
+    assert run_main(source, options=options) == 1
+
+
+def test_division_by_zero_raises_vmerror(options):
+    with pytest.raises(VMError, match="division by zero"):
+        run_main("func main() { var z = 0; return 5 / z; }", options=options)
+
+
+def test_out_of_bounds_store_raises_vmerror(options):
+    with pytest.raises(VMError, match="bad address"):
+        run_main("arr a[2]; func main() { a[5] = 1; return 0; }", options=options)
+
+
+def test_negative_index_raises_vmerror(options):
+    with pytest.raises(VMError, match="bad address"):
+        run_main(
+            "arr a[2]; func main() { var i = -1; return a[i]; }", options=options
+        )
+
+
+def test_bad_indirect_target_raises_vmerror(options):
+    with pytest.raises(VMError, match="indirect call"):
+        run_main("func main() { var f = 999; return f(); }", options=options)
+
+
+def test_select_conversion_is_semantics_preserving():
+    source = """
+    func main() {
+        var best = 0;
+        var i;
+        for (i = 0; i < 10; i += 1) {
+            if ((i ^ 5) > best) { best = i ^ 5; }
+        }
+        return best;
+    }
+    """
+    with_select = compile_and_run(source)
+    without = compile_and_run(source, options=CompileOptions(enable_select=False))
+    assert with_select.exit_code == without.exit_code == 13
+    assert with_select.events.selects > 0
+    assert without.events.selects == 0
+    # Select conversion suppresses the inner if's branch.
+    assert with_select.total_branch_execs < without.total_branch_execs
+
+
+def test_select_not_applied_to_division():
+    # if (b != 0) x = a / b; else x = 0; must NOT evaluate a/b when b == 0.
+    source = """
+    func main() {
+        var a = 10; var b = 0; var x;
+        if (b != 0) { x = a / b; } else { x = -1; }
+        return x;
+    }
+    """
+    assert run_main(source) == -1
+
+
+def test_exit_code_is_mains_return_value(options):
+    assert run_main("func main() { return 123; }", options=options) == 123

@@ -1,0 +1,101 @@
+"""Dataset generator tests."""
+import pytest
+
+from repro.workloads import sourcegen
+
+
+def test_c_module_is_deterministic():
+    assert sourcegen.c_module(42) == sourcegen.c_module(42)
+    assert sourcegen.c_module(42) != sourcegen.c_module(43)
+
+
+def test_c_module_styles_differ():
+    texts = {
+        style: sourcegen.c_module(7, style=style)
+        for style in sourcegen.C_STYLES
+    }
+    assert len(set(texts.values())) == len(texts)
+    assert texts["commented"].count("/*") > texts["scanner"].count("/*")
+    assert texts["tables"].count("acc = acc +") > 0
+
+
+def test_c_module_rejects_unknown_style():
+    with pytest.raises(KeyError):
+        sourcegen.c_module(1, style="bogus")
+
+
+def test_fortran_module_is_loop_heavy():
+    text = sourcegen.fortran_module(3)
+    assert text.count("for (") + text.count("while (") >= 15
+
+
+def test_english_text_word_count():
+    text = sourcegen.english_text(1, 200)
+    assert 180 <= len(text.split()) <= 200 + 1
+
+
+def test_adder_equations_structure():
+    text = sourcegen.adder_equations(3)
+    # 3 carries + 3 sums, one equation per line.
+    assert text.count(";") == 6
+    assert "c2" in text and "s2" in text
+    assert "a2" in text and "b2" in text
+
+
+def test_adder_equations_truth():
+    """Evaluate the generated sum/carry equations against real addition."""
+    import itertools
+    import re
+
+    bits = 3
+    text = sourcegen.adder_equations(bits)
+    equations = [
+        line.strip().rstrip(";").split("=", 1)
+        for line in text.strip().splitlines()
+    ]
+    for values in itertools.product([0, 1], repeat=2 * bits):
+        env = {}
+        for k in range(bits):
+            env[f"a{k}"] = values[k]
+            env[f"b{k}"] = values[bits + k]
+        for name, expr in equations:
+            python_expr = re.sub(r"!", " not ", expr)
+            python_expr = python_expr.replace("&", " and ").replace("|", " or ")
+            env[name.strip()] = int(eval(python_expr, {}, dict(env)))
+        a = sum(env[f"a{k}"] << k for k in range(bits))
+        b = sum(env[f"b{k}"] << k for k in range(bits))
+        total = sum(env[f"s{k}"] << k for k in range(bits))
+        total += env[f"c{bits - 1}"] << bits
+        assert total == a + b, (a, b, total)
+
+
+def test_priority_equations():
+    text = sourcegen.priority_equations(4)
+    assert "p0" in text and "p3" in text and "anyv" in text
+    # p0 must exclude all higher-priority inputs.
+    first_line = text.splitlines()[0]
+    assert "!i1" in first_line and "!i3" in first_line
+
+
+def test_pla_cubes_format():
+    data = sourcegen.pla_cubes(5, ninputs=8, ncubes=10)
+    assert data[0] == 8
+    assert data[1] + data[2] * 256 == 10
+    assert len(data) == 3 + 10 * 9
+    body = data[3:]
+    for cube in range(10):
+        *inputs, output = body[cube * 9 : cube * 9 + 9]
+        assert all(value in (0, 1, 2) for value in inputs)
+        assert output == 1
+
+
+def test_pla_density_knob():
+    dense = sourcegen.pla_cubes(1, 10, 50, dontcare_weight=1)
+    sparse = sourcegen.pla_cubes(1, 10, 50, dontcare_weight=8)
+    assert sparse.count(2) > dense.count(2)
+
+
+def test_netlist_round_trip():
+    data = sourcegen.netlist(2, 5, [(1, 1, 2, 0, 100)], 7)
+    values = [int(token) for token in data.split()]
+    assert values == [2, 5, 1, 1, 1, 2, 0, 100, 7]
