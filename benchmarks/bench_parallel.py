@@ -1,0 +1,49 @@
+"""Benchmark: process-pool fan-out speedup over the serial runner path.
+
+Both runners start on a cold cache so the measured work is the actual
+simulations; the triples are the slower sweeps (~1s each serially) so
+worker start-up is amortized the way it is in the real experiment
+drivers.  The speedup assertion needs a second core — on single-core
+machines the run still checks serial/parallel equivalence.
+"""
+import os
+import time
+
+from repro.core.cache import run_result_to_dict
+from repro.core.parallel import RunRequest
+from repro.core.runner import WorkloadRunner
+
+#: A 4-triple sweep of the heavier workloads.
+SWEEP = [
+    RunRequest("espresso", "bca"),
+    RunRequest("espresso", "cps"),
+    RunRequest("espresso", "tial"),
+    RunRequest("li", "6queens"),
+]
+
+
+def _timed_sweep(cache_dir, jobs):
+    runner = WorkloadRunner(cache_dir=cache_dir, jobs=jobs)
+    started = time.perf_counter()
+    results = runner.run_many(SWEEP)
+    return time.perf_counter() - started, results
+
+
+def test_smoke_parallel_fanout_speedup(tmp_path):
+    serial_time, serial = _timed_sweep(str(tmp_path / "serial"), jobs=1)
+    fanout_time, fanout = _timed_sweep(str(tmp_path / "fanout"), jobs=2)
+
+    assert [run_result_to_dict(r) for r in serial] == [
+        run_result_to_dict(r) for r in fanout
+    ]
+
+    speedup = serial_time / fanout_time
+    print(
+        f"\n{len(SWEEP)}-triple sweep: serial {serial_time:.2f}s, "
+        f"jobs=2 {fanout_time:.2f}s, speedup {speedup:.2f}x "
+        f"({os.cpu_count()} cores)"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup with 2 workers, got {speedup:.2f}x"
+        )

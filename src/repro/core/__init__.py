@@ -4,11 +4,26 @@ from repro.core.experiment import (
     CrossDatasetExperiment,
     DatasetPrediction,
 )
-from repro.core.runner import WorkloadRunner
+from repro.core.parallel import (
+    ParallelExecutionError,
+    ParallelRunner,
+    RunFailure,
+    RunRequest,
+    dataset_requests,
+    resolve_jobs,
+)
+from repro.core.runner import RunConfig, WorkloadRunner
 
 __all__ = [
     "BestWorstPrediction",
     "CrossDatasetExperiment",
     "DatasetPrediction",
+    "ParallelExecutionError",
+    "ParallelRunner",
+    "RunConfig",
+    "RunFailure",
+    "RunRequest",
     "WorkloadRunner",
+    "dataset_requests",
+    "resolve_jobs",
 ]

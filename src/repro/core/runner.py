@@ -55,14 +55,24 @@ class RunConfig:
 
 
 class WorkloadRunner:
-    """Compiles and executes workloads, memoizing runs in memory and on disk."""
+    """Compiles and executes workloads, memoizing runs in memory and on disk.
 
-    def __init__(self, cache_dir: Optional[str] = "auto"):
+    ``jobs`` sets the default fan-out for the batched ``run_many`` path
+    (``None`` consults the ``REPRO_JOBS`` environment variable, ``0``
+    means all cores); single ``run`` calls are always in-process.
+    """
+
+    def __init__(
+        self, cache_dir: Optional[str] = "auto", jobs: Optional[int] = None
+    ):
+        from repro.core.parallel import resolve_jobs
+
         if cache_dir == "auto":
             cache_dir = _default_cache_dir()
         self._disk = DiskCache(cache_dir)
         self._programs: Dict[Tuple[str, RunConfig], CompiledProgram] = {}
         self._runs: Dict[Tuple[str, str, RunConfig], RunResult] = {}
+        self.jobs = resolve_jobs(jobs)
 
     @staticmethod
     def _config(
@@ -138,6 +148,21 @@ class WorkloadRunner:
             compiled.lowered, input_data=dataset.data, monitors=monitors
         )
 
+    def run_many(self, requests, jobs: Optional[int] = None,
+                 on_error: str = "raise"):
+        """Run a batch of ``RunRequest`` triples, fanning cache misses
+        across worker processes when the effective job count exceeds 1.
+
+        Results come back in request order and are memoized exactly as
+        if each triple had gone through ``run`` — serial and parallel
+        execution are byte-identical.  See ``repro.core.parallel``.
+        """
+        from repro.core.parallel import ParallelRunner
+
+        return ParallelRunner(self, jobs=jobs).run_many(
+            requests, on_error=on_error
+        )
+
     def run_all(
         self,
         workload_name: str,
@@ -149,9 +174,16 @@ class WorkloadRunner:
         """Run a workload on every dataset; dataset name -> result."""
         run_config = self._config(dce, inline, if_conversion, config)
         workload = get_workload(workload_name)
+        names = workload.dataset_names()
+        if self.jobs > 1:
+            from repro.core.parallel import RunRequest
+
+            self.run_many(
+                [RunRequest(workload_name, name, run_config) for name in names]
+            )
         return {
             name: self.run(workload_name, name, config=run_config)
-            for name in workload.dataset_names()
+            for name in names
         }
 
     # -- profiles -----------------------------------------------------------------

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
+from repro.core.parallel import RunRequest
 from repro.core.runner import RunConfig, WorkloadRunner
 from repro.experiments.report import TextTable
 from repro.metrics.ipb import ipb_no_prediction, ipb_self_prediction
@@ -26,6 +27,17 @@ DEFAULT_PROGRAMS = [
     ("doduc", "small"),
     ("lfk", "default"),
 ]
+
+
+def _prewarm(runner: WorkloadRunner, programs, variant: RunConfig) -> None:
+    """Batch the base and variant runs of every ablated triple."""
+    runner.run_many(
+        [
+            RunRequest(program, dataset, config)
+            for program, dataset in programs
+            for config in (RunConfig(), variant)
+        ]
+    )
 
 
 # --- inlining ------------------------------------------------------------------
@@ -74,6 +86,7 @@ def inlining(
     if runner is None:
         runner = WorkloadRunner()
     inline_config = RunConfig(inline=True)
+    _prewarm(runner, programs, inline_config)
     rows: List[InliningRow] = []
     for program, dataset in programs:
         base = runner.run(program, dataset)
@@ -152,6 +165,7 @@ def if_conversion(
     if runner is None:
         runner = WorkloadRunner()
     converted_config = RunConfig(if_conversion=True)
+    _prewarm(runner, programs, converted_config)
     rows: List[IfConversionRow] = []
     for program, dataset in programs:
         base = runner.run(program, dataset)

@@ -80,6 +80,17 @@ def main(argv: List[str] = None) -> int:
         help="disable the on-disk run cache",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent runs across N worker processes "
+        "(0 = all cores; default: the REPRO_JOBS env var, else 1; "
+        "parallel fan-out needs the on-disk cache, so it is "
+        "disabled by --no-cache)",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="render figures as ASCII bar charts instead of tables",
@@ -91,7 +102,12 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    runner = WorkloadRunner(cache_dir=None if args.no_cache else "auto")
+    try:
+        runner = WorkloadRunner(
+            cache_dir=None if args.no_cache else "auto", jobs=args.jobs
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     names = (
         sorted(_SIMPLE) + ["informal", "ablations"] if args.experiment == "all"
         else [args.experiment]

@@ -28,6 +28,7 @@ import math
 from typing import Dict, List, Optional
 
 from repro.core.experiment import CrossDatasetExperiment
+from repro.core.parallel import dataset_requests
 from repro.core.runner import WorkloadRunner
 from repro.experiments.report import TextTable
 from repro.profiling.branch_profile import BranchProfile
@@ -139,6 +140,7 @@ class CoverageResult:
 def run(runner: Optional[WorkloadRunner] = None) -> CoverageResult:
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(dataset_requests(multi_dataset_workloads()))
     pairs: List[CoveragePair] = []
     for workload in multi_dataset_workloads():
         experiment = CrossDatasetExperiment(runner, workload.name)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
+from repro.core.parallel import dataset_requests
 from repro.core.runner import WorkloadRunner
 from repro.experiments.report import TextTable
 from repro.metrics.ipb import ipb_no_prediction
@@ -74,6 +75,7 @@ class Figure1Result:
 def run(runner: Optional[WorkloadRunner] = None) -> Figure1Result:
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(dataset_requests(all_workloads()))
     fortran_bars: List[Figure1Bar] = []
     c_bars: List[Figure1Bar] = []
     for workload in all_workloads():

@@ -11,12 +11,24 @@ import dataclasses
 from typing import List, Optional
 
 from repro.core.experiment import CrossDatasetExperiment, DatasetPrediction
+from repro.core.parallel import dataset_requests
 from repro.core.runner import WorkloadRunner
 from repro.experiments.report import TextTable
 from repro.workloads.base import C
 from repro.workloads.registry import all_workloads
 
 SPICE = "spice2g6"
+
+
+def _studied_workloads():
+    """The multi-dataset workloads Figures 2 and 3 measure (spice plus
+    the C/integer programs; stable-dataset FORTRAN programs are Table 3)."""
+    return [
+        workload
+        for workload in all_workloads()
+        if len(workload.datasets) >= 2
+        and (workload.name == SPICE or workload.category == C)
+    ]
 
 
 @dataclasses.dataclass
@@ -80,6 +92,7 @@ def run(
 ) -> Figure2Result:
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(dataset_requests(_studied_workloads()))
     spice_bars: List[DatasetPrediction] = []
     c_bars: List[DatasetPrediction] = []
     for workload in all_workloads():

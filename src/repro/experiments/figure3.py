@@ -10,8 +10,9 @@ import dataclasses
 from typing import List, Optional
 
 from repro.core.experiment import BestWorstPrediction, CrossDatasetExperiment
+from repro.core.parallel import dataset_requests
 from repro.core.runner import WorkloadRunner
-from repro.experiments.figure2 import SPICE
+from repro.experiments.figure2 import SPICE, _studied_workloads
 from repro.experiments.report import TextTable
 from repro.workloads.base import C
 from repro.workloads.registry import all_workloads
@@ -79,6 +80,7 @@ class Figure3Result:
 def run(runner: Optional[WorkloadRunner] = None) -> Figure3Result:
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(dataset_requests(_studied_workloads()))
     spice_bars: List[BestWorstPrediction] = []
     c_bars: List[BestWorstPrediction] = []
     for workload in all_workloads():

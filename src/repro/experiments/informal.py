@@ -18,12 +18,11 @@ from repro.experiments.report import TextTable
 from repro.metrics.ipb import ipb_self_prediction, ipb_with_predictor
 from repro.prediction.base import ProfilePredictor
 from repro.prediction.combine import COMBINE_MODES, combine_profiles
-from repro.prediction.evaluate import evaluate_static, self_prediction
+from repro.prediction.evaluate import self_prediction
 from repro.prediction.heuristics import (
     LoopHeuristicPredictor,
     OpcodeHeuristicPredictor,
 )
-from repro.profiling.branch_profile import BranchProfile
 from repro.vm.monitors import OnlinePredictorMonitor
 from repro.workloads.base import FORTRAN
 from repro.workloads.registry import all_workloads, multi_dataset_workloads

@@ -13,6 +13,7 @@ import math
 from typing import List, Optional
 
 from repro.core.experiment import CrossDatasetExperiment
+from repro.core.parallel import dataset_requests
 from repro.core.runner import WorkloadRunner
 from repro.experiments.coverage import pearson
 from repro.experiments.report import TextTable
@@ -65,6 +66,7 @@ class ScalingResult:
 def run(runner: Optional[WorkloadRunner] = None) -> ScalingResult:
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(dataset_requests(multi_dataset_workloads()))
     pairs: List[ScalingPair] = []
     for workload in multi_dataset_workloads():
         experiment = CrossDatasetExperiment(runner, workload.name)

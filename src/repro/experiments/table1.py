@@ -12,7 +12,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-from repro.core.runner import WorkloadRunner
+from repro.core.parallel import dataset_requests
+from repro.core.runner import RunConfig, WorkloadRunner
 from repro.experiments.report import TextTable
 
 #: The paper's Table 1 values (percent dynamic dead code).
@@ -74,6 +75,12 @@ def run(runner: Optional[WorkloadRunner] = None) -> Table1Result:
     """Measure Table 1 over every SPEC-analog program."""
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(
+        dataset_requests(
+            [runner.workload(program) for program in PAPER_DEAD_CODE],
+            configs=(RunConfig(), RunConfig(dce=True)),
+        )
+    )
     rows: List[Table1Row] = []
     for program in PAPER_DEAD_CODE:
         default_total = sum(

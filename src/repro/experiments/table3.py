@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+from repro.core.parallel import RunRequest
 from repro.core.runner import WorkloadRunner
 from repro.experiments.report import TextTable
 from repro.metrics.ipb import ipb_self_prediction
@@ -78,6 +79,9 @@ class Table3Result:
 def run(runner: Optional[WorkloadRunner] = None) -> Table3Result:
     if runner is None:
         runner = WorkloadRunner()
+    runner.run_many(
+        [RunRequest(program, dataset) for program, dataset, _ in PAPER_TABLE3]
+    )
     rows = [
         Table3Row(
             program=program,

@@ -25,7 +25,7 @@ did).  ``&f`` takes the address of function ``f`` for indirect calls.
 """
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.lang import ast_nodes as ast
 from repro.lang.errors import LangError

@@ -1,0 +1,60 @@
+"""The CI workflow must stay parseable and keep its jobs wired up."""
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = os.path.join(
+    os.path.dirname(__file__), "..", ".github", "workflows", "ci.yml"
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW) as handle:
+        return yaml.safe_load(handle)
+
+
+def test_workflow_parses_and_triggers(workflow):
+    # YAML 1.1 may load a bare `on:` key as the boolean True; accept both.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers
+    assert "pull_request" in triggers
+
+
+def test_workflow_has_all_jobs(workflow):
+    assert {"tests", "lint", "benchmark-smoke", "examples"} <= set(
+        workflow["jobs"]
+    )
+
+
+def test_test_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
+    assert {"3.9", "3.11", "3.13"} <= {str(version) for version in matrix}
+
+
+def _run_lines(job):
+    return [step.get("run", "") for step in job["steps"]]
+
+
+def test_jobs_run_the_advertised_commands(workflow):
+    jobs = workflow["jobs"]
+    assert any("pytest -x -q" in line for line in _run_lines(jobs["tests"]))
+    assert any("ruff check" in line for line in _run_lines(jobs["lint"]))
+    assert any(
+        "pytest benchmarks" in line
+        for line in _run_lines(jobs["benchmark-smoke"])
+    )
+    assert any("examples/*.py" in line for line in _run_lines(jobs["examples"]))
+
+
+def test_setup_python_uses_pip_caching(workflow):
+    for name, job in workflow["jobs"].items():
+        setup_steps = [
+            step for step in job["steps"]
+            if "setup-python" in str(step.get("uses", ""))
+        ]
+        assert setup_steps, f"job {name} never sets up python"
+        for step in setup_steps:
+            assert step["with"].get("cache") == "pip", name

@@ -1,5 +1,5 @@
 """Codegen structure tests: the lowering decisions the paper depends on."""
-from repro.compiler import CompileOptions, compile_source
+from repro.compiler import compile_source
 from repro.ir import BinOp, Opcode
 from repro.ir.printer import format_function
 

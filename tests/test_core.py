@@ -52,6 +52,29 @@ def test_run_result_serialization_is_lossless(runner):
     assert restored.exit_code == result.exit_code
 
 
+def test_run_config_tag_is_injective_over_flags():
+    # run_digest keys on tag() while in-memory memoization keys on the
+    # dataclass itself; injectivity keeps the two keyspaces aligned.
+    import itertools
+
+    from repro.core.runner import RunConfig
+
+    configs = [
+        RunConfig(dce=dce, inline=inline, if_conversion=ifconv)
+        for dce, inline, ifconv in itertools.product((False, True), repeat=3)
+    ]
+    assert len({config.tag() for config in configs}) == len(configs)
+    assert len(set(configs)) == len(configs)
+
+
+def test_disk_cache_hit_equals_fresh_execution(tmp_path):
+    first = WorkloadRunner(cache_dir=str(tmp_path)).run("doduc", "tiny")
+    fresh = WorkloadRunner(cache_dir=None).run("doduc", "tiny")
+    cached = WorkloadRunner(cache_dir=str(tmp_path)).run("doduc", "tiny")
+    assert run_result_to_dict(cached) == run_result_to_dict(first)
+    assert run_result_to_dict(cached) == run_result_to_dict(fresh)
+
+
 def test_run_digest_sensitivity():
     base = run_digest("src", b"input", "dce=False")
     assert run_digest("src2", b"input", "dce=False") != base

@@ -1,10 +1,7 @@
 """Inliner tests."""
-import pytest
-
 from repro.compiler import CompileOptions, compile_source
-from repro.ir import Opcode, validate_module
+from repro.ir import validate_module
 from repro.opt.inline import inline_module
-from repro.vm.machine import run_program
 
 from tests.helpers import compile_and_run
 

@@ -138,7 +138,7 @@ def test_profile_dict_round_trip(counts):
     assert restored.counts == profile.counts
 
 
-# -- metrics ------------------------------------------------------------------------------
+# -- metrics ------------------------------------------------------------------
 
 
 @given(branch_counts(), st.booleans())
