@@ -1,0 +1,41 @@
+"""Static profile prediction vs finite hardware predictors on one workload.
+
+The paper compares its cross-run profile prediction against the hardware
+counter schemes of [Smith 81] / [Lee and Smith 84] in one line; the
+``repro.dynamic`` subsystem makes the comparison a first-class sweep.
+This example runs it for a single workload and prints the comparison
+table plus the mean instructions-per-mispredict chart.
+
+Run:  python examples/dynamic_predictors.py [workload]
+      (default doduc; any workload with 2+ datasets works)
+"""
+import sys
+
+from repro.core import WorkloadRunner
+from repro.experiments import dynamic_compare
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "doduc"
+    runner = WorkloadRunner()
+    result = dynamic_compare.run(
+        runner, programs=[workload], table_sizes=(64, 256, 1024)
+    )
+    print(result.format_text())
+    print()
+    print(result.format_chart())
+
+    best = max(
+        (name for name in result.predictor_order),
+        key=lambda name: result.mean_ipb(workload, name),
+    )
+    cross = result.mean_ipb(workload, "static-cross")
+    print(
+        f"\nbest predictor for {workload}: {best} "
+        f"({result.mean_ipb(workload, best):.1f} instrs/mispredict; "
+        f"the paper's static-cross gets {cross:.1f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,7 @@ from repro.prediction import (
     evaluate_static,
     self_prediction,
 )
-from repro.vm.monitors import OnlinePredictorMonitor
+from repro.dynamic import BimodalPredictor, DynamicScoreMonitor
 
 CASES = [("li", "6queens", "5queens"), ("tomcatv", "default", "default")]
 
@@ -50,13 +50,20 @@ def main() -> None:
         print(f"  {'self (upper bound)':24s} "
               f"{ipb_self_prediction(target):8.1f} instrs/break")
 
-        # Dynamic predictors observe the run live.
-        one_bit = OnlinePredictorMonitor(num_bits=1)
-        two_bit = OnlinePredictorMonitor(num_bits=2)
-        runner.run(workload, target_name, monitors=[one_bit, two_bit])
+        # Dynamic predictors observe the run live (infinite-table 1-bit
+        # and 2-bit counters, scored in a single monitored pass).
+        monitor = DynamicScoreMonitor(
+            [
+                BimodalPredictor(table_size=None, num_bits=1),
+                BimodalPredictor(table_size=None, num_bits=2),
+            ],
+            compiled.lowered.branch_table,
+        )
+        runner.run(workload, target_name, monitors=[monitor])
+        one_bit, two_bit = monitor.scores(target)
         static_correct = self_prediction(target).percent_correct
-        print(f"  dynamic 1-bit {100 * one_bit.accuracy:5.1f}% correct, "
-              f"2-bit {100 * two_bit.accuracy:5.1f}%, "
+        print(f"  dynamic 1-bit {100 * one_bit.percent_correct:5.1f}% correct, "
+              f"2-bit {100 * two_bit.percent_correct:5.1f}%, "
               f"static-self {100 * static_correct:5.1f}%\n")
 
 

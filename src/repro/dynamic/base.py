@@ -1,0 +1,106 @@
+"""The dynamic-predictor interface and its shared machinery.
+
+A *dynamic* predictor is hardware: it observes the branch-outcome stream
+of one run and predicts each branch execution from state it updates as it
+goes — the [Smith 81] / [Lee and Smith 84] schemes the paper compares its
+static profile prediction against.  Unlike the static predictors in
+``repro.prediction``, a dynamic predictor cannot be scored from aggregate
+(executed, taken) counters: its behaviour depends on outcome *order*, so
+it must ride along on a live run via the ``BranchMonitor`` hook (see
+``repro.dynamic.score``).  No trace is ever stored.
+
+Realism constraints the model zoo honors:
+
+* **Finite tables.**  Real branch-history tables have a fixed number of
+  entries; two branches whose hashed addresses collide share state
+  (*aliasing*).  Every model takes a ``table_size`` (a power of two) and
+  reports its hardware budget in bits, so static and dynamic prediction
+  can be compared at equal cost.
+* **Deterministic indexing.**  Table indices derive from a stable FNV-1a
+  hash of the :class:`~repro.ir.instructions.BranchId` — never from
+  Python's salted ``hash()`` — so a simulation is bit-identical across
+  processes and interpreter invocations (the parallel runner depends on
+  this).
+* **Inspectable state.**  ``snapshot()`` exposes the complete mutable
+  state as plain tuples, so determinism tests can assert two simulations
+  ended in exactly the same place.
+"""
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.ir.instructions import BranchId
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def branch_pc(branch_id: BranchId) -> int:
+    """A stable 64-bit "address" for a static branch (FNV-1a of its id).
+
+    This stands in for the branch's program counter when indexing
+    finite tables; it is deterministic across processes (unlike
+    ``hash()``, which Python salts per interpreter).
+    """
+    value = _FNV_OFFSET
+    for byte in f"{branch_id.function}#{branch_id.index}".encode():
+        value = ((value ^ byte) * _FNV_PRIME) & _FNV_MASK
+    return value
+
+
+def check_table_size(table_size: int) -> int:
+    """Validate a table size: a positive power of two (for mask indexing)."""
+    if table_size < 1 or table_size & (table_size - 1):
+        raise ValueError(
+            f"table_size must be a positive power of two, got {table_size}"
+        )
+    return table_size
+
+
+class DynamicPredictor:
+    """Interface: predict each branch execution from online state.
+
+    Lifecycle: ``reset(branch_table)`` once per run, then for every
+    conditional-branch execution either ``observe(index, taken)`` (the
+    fused fast path the scoring monitor uses) or ``predict``/``update``.
+    ``index`` is the position in the run's static branch table, exactly
+    what the VM hands to :meth:`BranchMonitor.on_branch`.
+    """
+
+    #: Human-readable name for reports (e.g. ``bimodal@1024``).
+    name = "dynamic"
+
+    #: Table entries, or ``None`` for an idealized infinite table.
+    table_size: Optional[int] = None
+
+    def reset(self, branch_table: Sequence[BranchId]) -> None:
+        """Clear all state and bind the run's static branch table."""
+        raise NotImplementedError
+
+    def predict(self, index: int) -> bool:
+        """The predicted direction for the next execution of a branch."""
+        raise NotImplementedError
+
+    def update(self, index: int, taken: bool) -> None:
+        """Feed the actual outcome back into the predictor state."""
+        raise NotImplementedError
+
+    def observe(self, index: int, taken: bool) -> bool:
+        """Predict, then update: returns the direction that was predicted.
+
+        Models override this with a fused implementation — it runs once
+        per dynamic branch, the hottest path in a simulation.
+        """
+        predicted = self.predict(index)
+        self.update(index, taken)
+        return predicted
+
+    def budget_bits(self) -> Optional[int]:
+        """Hardware state in bits, or ``None`` when not meaningfully
+        finite (infinite tables, software predictors)."""
+        return None
+
+    def snapshot(self) -> Tuple:
+        """The complete mutable state, as nested plain tuples."""
+        raise NotImplementedError

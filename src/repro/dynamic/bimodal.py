@@ -1,0 +1,88 @@
+"""Bimodal branch-history table: one n-bit saturating counter per entry.
+
+The [Smith 81] scheme: each branch indexes a table of saturating
+counters; the counter's top half predicts taken.  ``table_size=None``
+gives every static branch its own counter — the idealized infinite,
+unaliased table the repo's original ``OnlinePredictorMonitor`` simulated
+— while a finite power-of-two table indexes by hashed branch address and
+exhibits real aliasing.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dynamic.base import DynamicPredictor, branch_pc, check_table_size
+from repro.ir.instructions import BranchId
+
+
+class BimodalPredictor(DynamicPredictor):
+    """n-bit saturating-counter BHT, optionally finite and aliased."""
+
+    def __init__(
+        self,
+        table_size: Optional[int] = 1024,
+        num_bits: int = 2,
+        initial_state: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        if table_size is not None:
+            check_table_size(table_size)
+        self.table_size = table_size
+        self.num_bits = num_bits
+        self.max_state = (1 << num_bits) - 1
+        self.threshold = 1 << (num_bits - 1)
+        if not 0 <= initial_state <= self.max_state:
+            raise ValueError(
+                f"initial_state must be in [0, {self.max_state}], "
+                f"got {initial_state}"
+            )
+        self.initial_state = initial_state
+        if name is None:
+            size = "inf" if table_size is None else str(table_size)
+            name = f"bimodal@{size}"
+        self.name = name
+        self._table: List[int] = []
+        self._slots: List[int] = []
+
+    def reset(self, branch_table: Sequence[BranchId]) -> None:
+        if self.table_size is None:
+            self._slots = list(range(len(branch_table)))
+            self._table = [self.initial_state] * len(branch_table)
+        else:
+            mask = self.table_size - 1
+            self._slots = [branch_pc(bid) & mask for bid in branch_table]
+            self._table = [self.initial_state] * self.table_size
+
+    def predict(self, index: int) -> bool:
+        return self._table[self._slots[index]] >= self.threshold
+
+    def update(self, index: int, taken: bool) -> None:
+        table = self._table
+        slot = self._slots[index]
+        state = table[slot]
+        if taken:
+            if state < self.max_state:
+                table[slot] = state + 1
+        elif state > 0:
+            table[slot] = state - 1
+
+    def observe(self, index: int, taken: bool) -> bool:
+        table = self._table
+        slot = self._slots[index]
+        state = table[slot]
+        if taken:
+            if state < self.max_state:
+                table[slot] = state + 1
+        elif state > 0:
+            table[slot] = state - 1
+        return state >= self.threshold
+
+    def budget_bits(self) -> Optional[int]:
+        if self.table_size is None:
+            return None
+        return self.table_size * self.num_bits
+
+    def snapshot(self) -> Tuple:
+        return (tuple(self._table),)

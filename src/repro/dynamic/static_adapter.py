@@ -1,0 +1,51 @@
+"""StaticAsDynamic: run a static predictor inside the dynamic harness.
+
+The whole point of the subsystem is the paper's comparison — static
+profile-driven prediction vs hardware schemes *on the same runs*.  This
+adapter wraps any :class:`~repro.prediction.base.StaticPredictor` (self
+profile, cross-dataset profile, heuristics, always-taken) as a
+:class:`DynamicPredictor` whose state never changes, so it can be scored
+by the same monitor, event for event.  Its misprediction count provably
+equals what ``evaluate_static`` computes from aggregate counters (there
+is a test for that).
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dynamic.base import DynamicPredictor
+from repro.ir.instructions import BranchId
+from repro.prediction.base import StaticPredictor
+
+
+class StaticAsDynamic(DynamicPredictor):
+    """A fixed per-branch direction table, resolved once at reset."""
+
+    def __init__(
+        self, predictor: StaticPredictor, name: Optional[str] = None
+    ) -> None:
+        self.predictor = predictor
+        self.name = name if name is not None else f"static({predictor.name})"
+        self._directions: List[bool] = []
+
+    def reset(self, branch_table: Sequence[BranchId]) -> None:
+        self._directions = [
+            self.predictor.predict(bid) for bid in branch_table
+        ]
+
+    def predict(self, index: int) -> bool:
+        return self._directions[index]
+
+    def update(self, index: int, taken: bool) -> None:
+        pass
+
+    def observe(self, index: int, taken: bool) -> bool:
+        return self._directions[index]
+
+    def budget_bits(self) -> Optional[int]:
+        # Software prediction: the direction bit lives in the opcode, not
+        # in predictor hardware.
+        return None
+
+    def snapshot(self) -> Tuple:
+        return (tuple(self._directions),)

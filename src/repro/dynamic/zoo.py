@@ -1,0 +1,60 @@
+"""The model zoo: named predictor families at configurable table sizes."""
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dynamic.base import DynamicPredictor
+from repro.dynamic.bimodal import BimodalPredictor
+from repro.dynamic.gshare import GSharePredictor
+from repro.dynamic.local import TwoLevelLocalPredictor
+from repro.dynamic.tournament import TournamentPredictor
+
+#: Family-major zoo order: each family at every size, smallest first.
+MODEL_FAMILIES = ("bimodal", "gshare", "local", "tournament")
+
+#: The default sweep sizes (entries; budgets differ per family).
+DEFAULT_TABLE_SIZES = (64, 256, 1024)
+
+
+def build_model(
+    family: str,
+    table_size: Optional[int],
+    num_bits: int = 2,
+    name: Optional[str] = None,
+) -> DynamicPredictor:
+    """Construct one zoo model by family name."""
+    if family == "bimodal":
+        return BimodalPredictor(
+            table_size=table_size, num_bits=num_bits, name=name
+        )
+    if table_size is None:
+        raise ValueError(f"family {family!r} requires a finite table_size")
+    if family == "gshare":
+        return GSharePredictor(
+            table_size=table_size, num_bits=num_bits, name=name
+        )
+    if family == "local":
+        return TwoLevelLocalPredictor(
+            table_size=table_size, num_bits=num_bits, name=name
+        )
+    if family == "tournament":
+        return TournamentPredictor(
+            table_size=table_size, num_bits=num_bits, name=name
+        )
+    raise ValueError(
+        f"unknown predictor family {family!r}; known: "
+        f"{', '.join(MODEL_FAMILIES)}"
+    )
+
+
+def default_zoo(
+    table_sizes: Sequence[int] = DEFAULT_TABLE_SIZES,
+    families: Sequence[str] = MODEL_FAMILIES,
+    num_bits: int = 2,
+) -> List[DynamicPredictor]:
+    """Every family at every table size, family-major."""
+    return [
+        build_model(family, size, num_bits=num_bits)
+        for family in families
+        for size in sorted(table_sizes)
+    ]

@@ -3,6 +3,7 @@ plus the informal observations and the extension experiments."""
 from repro.experiments import (  # noqa: F401
     ablations,
     coverage,
+    dynamic_compare,
     figure1,
     figure2,
     figure3,
@@ -18,6 +19,7 @@ from repro.experiments import (  # noqa: F401
 __all__ = [
     "ablations",
     "coverage",
+    "dynamic_compare",
     "figure1",
     "figure2",
     "figure3",

@@ -2,8 +2,9 @@
 
 Usage::
 
-    repro-experiments [table1|...|figure3|runlengths|coverage|informal|ablations|all]
+    repro-experiments [table1|...|figure3|runlengths|coverage|dynamic|informal|ablations|all]
     repro-experiments figure2 --chart      # ASCII bar charts
+    repro-experiments dynamic --jobs 2     # static vs hardware predictors
     repro-experiments export --out results.json
 """
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro.core.runner import WorkloadRunner
 from repro.experiments import (
     ablations,
     coverage,
+    dynamic_compare,
     figure1,
     figure2,
     figure3,
@@ -39,6 +41,7 @@ _SIMPLE = {
     "runlengths": runlengths.run,
     "coverage": coverage.run,
     "scaling": scaling.run,
+    "dynamic": dynamic_compare.run,
     "overview": overview.run,
 }
 

@@ -14,6 +14,7 @@ from repro.core.runner import WorkloadRunner
 from repro.experiments import (
     ablations,
     coverage,
+    dynamic_compare,
     figure1,
     figure2,
     figure3,
@@ -60,6 +61,7 @@ def collect(runner: Optional[WorkloadRunner] = None) -> dict:
         },
         "runlengths": _plain(runlengths.run(runner)),
         "scaling": _plain(scaling.run(runner)),
+        "dynamic": _plain(dynamic_compare.run(runner)),
         "coverage": _plain(coverage.run(runner)),
         "ablations": {
             "inlining": _plain(ablations.inlining(runner)),

@@ -23,8 +23,8 @@ from repro.prediction.heuristics import (
     LoopHeuristicPredictor,
     OpcodeHeuristicPredictor,
 )
-from repro.vm.monitors import OnlinePredictorMonitor
-from repro.workloads.base import FORTRAN
+from repro.dynamic.bimodal import BimodalPredictor
+from repro.dynamic.score import DynamicScoreMonitor
 from repro.workloads.registry import all_workloads, multi_dataset_workloads
 
 
@@ -342,20 +342,27 @@ def dynamic_comparison(
     for workload in all_workloads():
         if programs is not None and workload.name not in programs:
             continue
+        # The paper's cited schemes: infinite-table (unaliased) 1-bit and
+        # 2-bit counters, one per static branch.  The monitor resets its
+        # models at every run start, so one monitor serves all datasets.
+        monitor = DynamicScoreMonitor(
+            [
+                BimodalPredictor(table_size=None, num_bits=1),
+                BimodalPredictor(table_size=None, num_bits=2),
+            ],
+            runner.compiled(workload.name).lowered.branch_table,
+        )
         for dataset in workload.dataset_names():
-            one_bit = OnlinePredictorMonitor(num_bits=1)
-            two_bit = OnlinePredictorMonitor(num_bits=2)
-            result = runner.run(
-                workload.name, dataset, monitors=[one_bit, two_bit]
-            )
+            result = runner.run(workload.name, dataset, monitors=[monitor])
+            one_bit, two_bit = monitor.scores(result)
             rows.append(
                 DynamicRow(
                     program=workload.name,
                     dataset=dataset,
                     category=workload.category,
                     static_self_accuracy=self_prediction(result).percent_correct,
-                    one_bit_accuracy=one_bit.accuracy,
-                    two_bit_accuracy=two_bit.accuracy,
+                    one_bit_accuracy=one_bit.percent_correct,
+                    two_bit_accuracy=two_bit.percent_correct,
                 )
             )
     return DynamicResult(rows=rows)

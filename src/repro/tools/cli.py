@@ -6,6 +6,7 @@ Subcommands::
     repro-mf profile program.mf --dataset d1 --input data.bin --db prof.json
     repro-mf feedback program.mf --db prof.json -o program_fb.mf
     repro-mf predict program.mf --input new.bin --db prof.json
+    repro-mf dynsim program.mf --input data.bin --table-size 256
     repro-mf report --db prof.json
 
 ``profile`` accumulates branch counters into a JSON database across runs
@@ -164,6 +165,47 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_dynsim(args) -> int:
+    from repro.dynamic import DynamicScoreMonitor, StaticAsDynamic, default_zoo
+
+    source = _load_source(args.program)
+    name = _program_name(args.program)
+    compiled = compile_source(source, name=name, options=_compile_options(args))
+    models = []
+    if args.db:
+        database = ProfileDatabase.load(args.db)
+        profile = database.program_profile(name)
+        if not len(profile):
+            print(f"error: no counts recorded for {name!r} in {args.db}",
+                  file=sys.stderr)
+            return 1
+        models.append(
+            StaticAsDynamic(
+                ProfilePredictor(profile, name="feedback"),
+                name="static-feedback",
+            )
+        )
+    try:
+        models.extend(default_zoo(args.table_size or (64, 256, 1024)))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    monitor = DynamicScoreMonitor(models, compiled.lowered.branch_table)
+    result = run_program(
+        compiled.lowered, input_data=_read_input(args), monitors=[monitor]
+    )
+    print(f"{result.instructions} instructions, "
+          f"{result.total_branch_execs} branch executions")
+    print(f"{'predictor':<18} {'budget(bits)':>12} {'% correct':>10} "
+          f"{'instrs/mispredict':>18}")
+    for score in monitor.scores(result):
+        budget = "-" if score.budget_bits is None else str(score.budget_bits)
+        print(f"{score.predictor:<18} {budget:>12} "
+              f"{score.percent_correct:>9.1%} "
+              f"{score.instructions_per_break:>18.1f}")
+    return 0
+
+
 def cmd_disasm(args) -> int:
     from repro.ir.disasm import disassemble
 
@@ -250,6 +292,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 "directives found in the source)")
     _add_compile_flags(predict_parser)
     predict_parser.set_defaults(handler=cmd_predict)
+
+    dynsim_parser = subparsers.add_parser(
+        "dynsim",
+        help="simulate hardware branch predictors over one run",
+    )
+    dynsim_parser.add_argument("program")
+    dynsim_parser.add_argument("--input", help="input file ('-' for stdin)")
+    dynsim_parser.add_argument(
+        "--table-size",
+        type=int,
+        action="append",
+        metavar="N",
+        help="predictor table entries, repeatable (default: 64 256 1024)",
+    )
+    dynsim_parser.add_argument(
+        "--db",
+        help="also score this profile database as a static predictor",
+    )
+    _add_compile_flags(dynsim_parser)
+    dynsim_parser.set_defaults(handler=cmd_dynsim)
 
     disasm_parser = subparsers.add_parser(
         "disasm", help="disassemble the compiled program"

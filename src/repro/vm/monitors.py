@@ -38,49 +38,59 @@ class OutcomeRecorder(BranchMonitor):
 
 
 class OnlinePredictorMonitor(BranchMonitor):
-    """Scores a dynamic predictor online, branch by branch.
+    """Deprecated shim: an infinite-table bimodal counter scheme.
 
-    The predictor state lives here (one small state per static branch); hits
-    and misses are tallied as the run progresses.  This mirrors how the
-    hardware schemes in [Smith 81] / [Lee and Smith 84] behave, with an
-    infinite (untagged, unaliased) branch history table.
+    The real implementation now lives in :mod:`repro.dynamic` — this
+    wraps ``BimodalPredictor(table_size=None)`` (one untagged, unaliased
+    counter per static branch) and keeps the original hits/misses/states
+    surface for existing callers.  New code should build a
+    :class:`repro.dynamic.DynamicScoreMonitor` over zoo models instead,
+    which scores many predictors in one pass and reports the paper's
+    instructions-per-break measure, not just accuracy.
     """
 
     def __init__(self, num_bits: int = 2, initial_state: int = 0) -> None:
+        from repro.dynamic.bimodal import BimodalPredictor
+
         if num_bits not in (1, 2):
             raise ValueError("num_bits must be 1 or 2")
         self.num_bits = num_bits
         self.initial_state = initial_state
         self.max_state = (1 << num_bits) - 1
         self.threshold = 1 << (num_bits - 1)
-        self.states: List[int] = []
+        self._model = BimodalPredictor(
+            table_size=None, num_bits=num_bits, initial_state=initial_state
+        )
         self.hits = 0
         self.misses = 0
 
     def on_run_start(self, num_branches: int) -> None:
-        self.states = [self.initial_state] * num_branches
+        from repro.ir.instructions import BranchId
+
+        # Identities are irrelevant for an infinite (direct-indexed)
+        # table; synthesize placeholders to satisfy the reset interface.
+        self._model.reset([BranchId("", i) for i in range(num_branches)])
         self.hits = 0
         self.misses = 0
 
     def on_branch(self, branch_index: int, taken: bool, icount: int) -> None:
-        state = self.states[branch_index]
-        predicted_taken = state >= self.threshold
-        if predicted_taken == taken:
+        if self._model.observe(branch_index, taken) == taken:
             self.hits += 1
         else:
             self.misses += 1
-        if taken:
-            if state < self.max_state:
-                self.states[branch_index] = state + 1
-        else:
-            if state > 0:
-                self.states[branch_index] = state - 1
+
+    @property
+    def states(self) -> List[int]:
+        """The per-branch counter states (the pre-shim attribute)."""
+        return list(self._model.snapshot()[0])
 
     @property
     def accuracy(self) -> float:
-        """Fraction of branch executions predicted correctly."""
+        """Fraction of branch executions predicted correctly; vacuously
+        1.0 for a run with no branch executions, matching
+        ``PredictionReport.percent_correct``."""
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.hits / total if total else 1.0
 
 
 class RunLengthMonitor(BranchMonitor):

@@ -121,6 +121,32 @@ def test_compile_flags_accepted(workdir, capsysbinary):
     assert capsysbinary.readouterr().out == b"o"
 
 
+def test_dynsim_scores_the_zoo(workdir, capsys):
+    assert main(["dynsim", "histogram.mf", "--input", "d1.txt",
+                 "--table-size", "16", "--table-size", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "branch executions" in out
+    for name in ("bimodal@16", "gshare@64", "local@16", "tournament@64"):
+        assert name in out
+    assert "bimodal@1024" not in out  # only the requested sizes
+
+
+def test_dynsim_with_profile_database(workdir, capsys):
+    main(["profile", "histogram.mf", "--dataset", "d1",
+          "--input", "d1.txt", "--db", "prof.json"])
+    capsys.readouterr()
+    assert main(["dynsim", "histogram.mf", "--input", "d2.txt",
+                 "--db", "prof.json"]) == 0
+    out = capsys.readouterr().out
+    assert "static-feedback" in out and "bimodal@256" in out
+
+
+def test_dynsim_rejects_bad_table_size(workdir, capsys):
+    assert main(["dynsim", "histogram.mf", "--input", "d1.txt",
+                 "--table-size", "100"]) == 1
+    assert "power of two" in capsys.readouterr().err
+
+
 def test_disasm_subcommand(workdir, capsys):
     assert main(["disasm", "histogram.mf"]) == 0
     out = capsys.readouterr().out

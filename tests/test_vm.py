@@ -119,7 +119,9 @@ def test_online_predictor_rejects_bad_width():
 def test_monitor_accuracy_property():
     monitor = OnlinePredictorMonitor(num_bits=2)
     monitor.on_run_start(1)
-    assert monitor.accuracy == 0.0
+    # Zero branch executions is a vacuously perfect prediction, matching
+    # PredictionReport.percent_correct for the same degenerate run.
+    assert monitor.accuracy == 1.0
     monitor.on_branch(0, True, 10)
     monitor.on_branch(0, True, 20)
     monitor.on_branch(0, True, 30)
