@@ -1,0 +1,94 @@
+"""Dataflow analysis framework over the CFG-form IR.
+
+A generic worklist (MFP) solver plus the classic analyses layered on it:
+
+* :mod:`repro.analysis.dataflow` — direction-agnostic solver with edge
+  transfers, widening, and unreachable (bottom) tracking.
+* :mod:`repro.analysis.liveness` — backward live-register analysis.
+* :mod:`repro.analysis.reachdefs` — reaching definitions and definite
+  assignment (the use-before-def lint's engine).
+* :mod:`repro.analysis.constprop` — conditional constant propagation with
+  infeasible-edge pruning.
+* :mod:`repro.analysis.ranges` — integer interval analysis with
+  comparison-driven edge refinement.
+
+Consumers: the static branch-direction prover (:mod:`repro.analysis.prover`)
+and the IR lint suite (:mod:`repro.analysis.lint`).
+"""
+from repro.analysis.constprop import ConstantPropagation, constants, eval_instr
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowAnalysis,
+    DataflowResult,
+    solve,
+)
+from repro.analysis.lint import (
+    LintFinding,
+    format_findings,
+    lint_errors,
+    lint_function,
+    lint_module,
+)
+from repro.analysis.liveness import LivenessAnalysis, live_out, live_sets
+from repro.analysis.prover import (
+    BranchProof,
+    ProofVerdict,
+    proof_directions,
+    prove_function,
+    prove_module,
+)
+from repro.analysis.ranges import (
+    BOOL,
+    GETC_RANGE,
+    TOP,
+    Interval,
+    RangeAnalysis,
+    compare_intervals,
+    hull,
+    intersect,
+    ranges,
+)
+from repro.analysis.reachdefs import (
+    DefiniteAssignment,
+    ReachingDefinitions,
+    maybe_uninitialized_uses,
+    reaching_definitions,
+)
+
+__all__ = [
+    "BACKWARD",
+    "BOOL",
+    "FORWARD",
+    "GETC_RANGE",
+    "TOP",
+    "BranchProof",
+    "ConstantPropagation",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "DefiniteAssignment",
+    "Interval",
+    "LintFinding",
+    "LivenessAnalysis",
+    "ProofVerdict",
+    "RangeAnalysis",
+    "ReachingDefinitions",
+    "compare_intervals",
+    "constants",
+    "eval_instr",
+    "format_findings",
+    "hull",
+    "intersect",
+    "lint_errors",
+    "lint_function",
+    "lint_module",
+    "live_out",
+    "live_sets",
+    "maybe_uninitialized_uses",
+    "proof_directions",
+    "prove_function",
+    "prove_module",
+    "ranges",
+    "reaching_definitions",
+    "solve",
+]

@@ -1,0 +1,243 @@
+"""The generic worklist dataflow solver.
+
+Every analysis in :mod:`repro.analysis` is an instance of one scheme: a
+lattice of abstract states, a per-block transfer function, a meet operator,
+and a direction.  The solver computes the maximal-fixpoint (MFP) solution
+with a worklist seeded in quasi-topological order.
+
+Conventions
+-----------
+
+States are named by *program position*, not by dataflow direction:
+``before[label]`` is the state at the block's entry in program order and
+``after[label]`` the state at its exit.  A forward analysis computes
+``after = transfer(block, before)``; a backward analysis computes
+``before = transfer(block, after)``.
+
+The bottom element is ``None`` and means "no execution reaches this
+position".  ``meet(None, x) == x`` is enforced by the solver, so analyses
+only ever see two non-``None`` states.  Edge-level precision (branch
+feasibility, comparison-driven range refinement) is expressed through
+:meth:`DataflowAnalysis.edge_transfer`, which may return ``None`` to mark
+an edge infeasible — this is how conditional constant propagation prunes
+never-taken branches.
+
+Termination over infinite-height lattices (the interval lattice) is
+guaranteed two ways: analyses declare widening points (natural-loop
+headers), and the solver force-widens any block whose entry state keeps
+changing past a visit budget — a safety net for irreducible flow graphs
+the header detection would miss.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Generic, List, Optional, Set, TypeVar
+
+from repro.ir.analysis import (
+    exit_labels,
+    loop_headers,
+    predecessor_map,
+    reachable_labels,
+    successor_map,
+)
+from repro.ir.cfg import BasicBlock, Function
+
+S = TypeVar("S")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+#: Entry-state recomputations per block before the solver force-widens.
+VISIT_BUDGET = 64
+
+
+class DataflowAnalysis(Generic[S]):
+    """One dataflow problem: direction, lattice operations, transfer."""
+
+    #: :data:`FORWARD` or :data:`BACKWARD`.
+    direction: str = FORWARD
+
+    #: When True, a position no execution flows into is treated as holding
+    #: the boundary state rather than bottom.  Liveness wants this: a block
+    #: with no path to an exit still circulates its own uses (deleting
+    #: instructions inside an infinite loop would change the observable
+    #: instruction counts this whole repository exists to measure).
+    bottom_is_boundary: bool = False
+
+    def boundary(self, func: Function) -> S:
+        """The state at the CFG boundary: function entry for a forward
+        analysis, every exit block for a backward one."""
+        raise NotImplementedError
+
+    def meet(self, left: S, right: S) -> S:
+        """Combine two states flowing into the same position.  Never called
+        with ``None``; the solver short-circuits the bottom element."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, state: S) -> S:
+        """The state after executing ``block`` (forward: given its entry
+        state; backward: given its exit state, returning its entry state)."""
+        raise NotImplementedError
+
+    def edge_transfer(
+        self, block: BasicBlock, target: str, state: S
+    ) -> Optional[S]:
+        """Refine the state flowing along one out-edge of ``block``
+        (forward analyses only).  Returning ``None`` marks the edge
+        infeasible.  The default is the identity."""
+        return state
+
+    def widen(self, old: S, new: S) -> S:
+        """Accelerate convergence at widening points.  Must over-approximate
+        ``new``; the default (return ``new``) is correct for finite-height
+        lattices."""
+        return new
+
+    def widening_points(self, func: Function) -> Set[str]:
+        """Labels where :meth:`widen` applies (default: natural-loop
+        headers, the classic choice for interval analysis)."""
+        return loop_headers(func)
+
+
+@dataclasses.dataclass
+class DataflowResult(Generic[S]):
+    """The MFP solution: program-order entry/exit state per block label.
+
+    ``None`` means the position is unreachable according to the analysis
+    (only forward analyses with edge pruning produce it for reachable
+    code positions; layout-unreachable blocks get it in every analysis).
+    """
+
+    before: Dict[str, Optional[S]]
+    after: Dict[str, Optional[S]]
+
+    def reachable(self, label: str) -> bool:
+        """Whether the analysis found any execution reaching the block."""
+        return self.before.get(label) is not None
+
+
+def solve(func: Function, analysis: DataflowAnalysis[S]) -> DataflowResult[S]:
+    """Run the worklist algorithm to the maximal fixpoint."""
+    if not func.blocks:
+        return DataflowResult(before={}, after={})
+    if analysis.direction == FORWARD:
+        return _solve_forward(func, analysis)
+    if analysis.direction == BACKWARD:
+        return _solve_backward(func, analysis)
+    raise ValueError(f"bad dataflow direction {analysis.direction!r}")
+
+
+def _solve_forward(
+    func: Function, analysis: DataflowAnalysis[S]
+) -> DataflowResult[S]:
+    block_map = func.block_map()
+    succs = successor_map(func)
+    preds = predecessor_map(func)
+    order = reachable_labels(func)
+    position = {label: index for index, label in enumerate(order)}
+    entry = order[0]
+    widen_at = analysis.widening_points(func)
+
+    before: Dict[str, Optional[S]] = {b.label: None for b in func.blocks}
+    after: Dict[str, Optional[S]] = {b.label: None for b in func.blocks}
+    visits: Dict[str, int] = {b.label: 0 for b in func.blocks}
+
+    pending: Set[str] = set(order)
+    worklist: List[str] = list(reversed(order))  # pop() yields RPO
+    while worklist:
+        label = worklist.pop()
+        pending.discard(label)
+        block = block_map[label]
+        visits[label] += 1
+        first = visits[label] == 1
+
+        incoming: Optional[S] = analysis.boundary(func) if label == entry else None
+        for pred in preds[label]:
+            pred_after = after[pred]
+            if pred_after is None:
+                continue
+            flowed = analysis.edge_transfer(block_map[pred], label, pred_after)
+            if flowed is None:
+                continue
+            incoming = (
+                flowed if incoming is None else analysis.meet(incoming, flowed)
+            )
+        if incoming is None and analysis.bottom_is_boundary:
+            incoming = analysis.boundary(func)
+
+        old = before[label]
+        if (
+            incoming is not None
+            and old is not None
+            and (label in widen_at or visits[label] > VISIT_BUDGET)
+        ):
+            incoming = analysis.widen(old, incoming)
+        if incoming == old and not first:
+            continue
+        before[label] = incoming
+        new_after = (
+            None if incoming is None else analysis.transfer(block, incoming)
+        )
+        if new_after != after[label] or first:
+            after[label] = new_after
+            for succ in succs[label]:
+                if succ in position and succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return DataflowResult(before=before, after=after)
+
+
+def _solve_backward(
+    func: Function, analysis: DataflowAnalysis[S]
+) -> DataflowResult[S]:
+    block_map = func.block_map()
+    succs = successor_map(func)
+    preds = predecessor_map(func)
+    order = reachable_labels(func)
+    exits = set(exit_labels(func))
+
+    before: Dict[str, Optional[S]] = {b.label: None for b in func.blocks}
+    after: Dict[str, Optional[S]] = {b.label: None for b in func.blocks}
+    visits: Dict[str, int] = {b.label: 0 for b in func.blocks}
+
+    # Layout-unreachable blocks are solved too (queued first, popped last):
+    # under the paper's no-DCE configuration they stay in the module, and
+    # consumers like dead-store detection must see their internal liveness.
+    leftovers = [
+        block.label for block in func.blocks if block.label not in set(order)
+    ]
+    pending: Set[str] = set(order) | set(leftovers)
+    worklist: List[str] = leftovers + list(order)  # pop() yields postorder first
+    while worklist:
+        label = worklist.pop()
+        pending.discard(label)
+        block = block_map[label]
+        visits[label] += 1
+        first = visits[label] == 1
+
+        outgoing: Optional[S] = analysis.boundary(func) if label in exits else None
+        for succ in succs[label]:
+            succ_before = before.get(succ)
+            if succ_before is None:
+                continue
+            outgoing = (
+                succ_before
+                if outgoing is None
+                else analysis.meet(outgoing, succ_before)
+            )
+        if outgoing is None and analysis.bottom_is_boundary:
+            outgoing = analysis.boundary(func)
+
+        if outgoing == after[label] and not first:
+            continue
+        after[label] = outgoing
+        new_before = (
+            None if outgoing is None else analysis.transfer(block, outgoing)
+        )
+        if new_before != before[label] or first:
+            before[label] = new_before
+            for pred in preds[label]:
+                if pred not in pending:
+                    pending.add(pred)
+                    worklist.append(pred)
+    return DataflowResult(before=before, after=after)

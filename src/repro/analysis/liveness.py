@@ -1,0 +1,69 @@
+"""Register liveness, as a backward may-analysis on the framework.
+
+This is the analysis the dead-instruction pass has always needed; it now
+lives here so the optimizer, the lint rules (dead stores) and any future
+register allocator share one implementation.
+"""
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.analysis.dataflow import BACKWARD, DataflowAnalysis, solve
+from repro.ir.cfg import BasicBlock, Function
+
+
+def block_use_def(block: BasicBlock) -> Tuple[Set[int], Set[int]]:
+    """(use, def): registers read before any in-block write / registers
+    written anywhere in the block."""
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    for instr in block.instrs:
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        if instr.dst is not None:
+            defs.add(instr.dst)
+    return uses, defs
+
+
+class LivenessAnalysis(DataflowAnalysis[FrozenSet[int]]):
+    """Backward union analysis; state = frozenset of live register numbers."""
+
+    direction = BACKWARD
+    bottom_is_boundary = True
+
+    def boundary(self, func: Function) -> FrozenSet[int]:
+        return frozenset()
+
+    def meet(
+        self, left: FrozenSet[int], right: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        return left | right
+
+    def transfer(
+        self, block: BasicBlock, state: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        uses, defs = block_use_def(block)
+        return frozenset(uses | (set(state) - defs))
+
+
+def live_sets(func: Function) -> Tuple[Dict[str, Set[int]], Dict[str, Set[int]]]:
+    """(live_in, live_out) register sets per block label.
+
+    Blocks the analysis never reaches (no path to an exit, or unreachable
+    layout leftovers) get empty sets — nothing observable is live there.
+    """
+    result = solve(func, LivenessAnalysis())
+    live_in: Dict[str, Set[int]] = {}
+    live_out: Dict[str, Set[int]] = {}
+    for block in func.blocks:
+        before = result.before.get(block.label)
+        after = result.after.get(block.label)
+        live_in[block.label] = set(before) if before is not None else set()
+        live_out[block.label] = set(after) if after is not None else set()
+    return live_in, live_out
+
+
+def live_out(func: Function) -> Dict[str, Set[int]]:
+    """Live-out register sets per block label."""
+    return live_sets(func)[1]

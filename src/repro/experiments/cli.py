@@ -2,7 +2,7 @@
 
 Usage::
 
-    repro-experiments [table1|...|figure3|runlengths|coverage|dynamic|informal|ablations|all]
+    repro-experiments [table1|...|figure3|runlengths|coverage|dynamic|proofs|all]
     repro-experiments figure2 --chart      # ASCII bar charts
     repro-experiments dynamic --jobs 2     # static vs hardware predictors
     repro-experiments export --out results.json
@@ -24,6 +24,7 @@ from repro.experiments import (
     figure3,
     informal,
     overview,
+    proofs,
     runlengths,
     scaling,
     table1,
@@ -43,6 +44,7 @@ _SIMPLE = {
     "scaling": scaling.run,
     "dynamic": dynamic_compare.run,
     "overview": overview.run,
+    "proofs": proofs.run,
 }
 
 

@@ -1,13 +1,88 @@
-"""CFG analyses: dominators, back edges, natural-loop membership.
+"""CFG analyses: edges, dominators, post-dominators, natural loops.
 
-Used by the heuristic predictors (loop/non-loop distinction) and by the
-trace-selection extension.
+Used by the heuristic predictors (loop/non-loop distinction), the
+trace-selection extension, the optimization passes (shared successor /
+predecessor derivation instead of per-pass ad-hoc scans) and the
+:mod:`repro.analysis` dataflow framework.
 """
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
-from repro.ir.cfg import Function
+from repro.ir.cfg import BasicBlock, Function
+from repro.ir.opcodes import Opcode
+
+
+def retarget_block(block: BasicBlock, resolve: Callable[[str], str]) -> bool:
+    """Rewrite the block's terminator targets through ``resolve``.
+
+    Returns whether any target changed.  Shared by the passes that redirect
+    control-flow edges (jump threading, and any future CFG simplification)
+    so edge rewriting lives in one place.
+    """
+    term = block.terminator
+    if term is None:
+        return False
+    changed = False
+    if term.op in (Opcode.JMP, Opcode.BR) and term.then_label is not None:
+        target = resolve(term.then_label)
+        if target != term.then_label:
+            term.then_label = target
+            changed = True
+    if term.op == Opcode.BR and term.else_label is not None:
+        target = resolve(term.else_label)
+        if target != term.else_label:
+            term.else_label = target
+            changed = True
+    return changed
+
+
+def successor_map(func: Function) -> Dict[str, List[str]]:
+    """Label -> successor labels, for every block (reachable or not)."""
+    return {block.label: block.successors() for block in func.blocks}
+
+
+def predecessor_map(func: Function) -> Dict[str, List[str]]:
+    """Label -> predecessor labels, for every block (reachable or not).
+
+    Unlike :meth:`repro.ir.cfg.Function.predecessors` this does not raise on
+    edges to unknown labels; malformed modules are the validator's business,
+    and analyses should be runnable on anything the validator accepts.
+    """
+    preds: Dict[str, List[str]] = {block.label: [] for block in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors():
+            if succ in preds:
+                preds[succ].append(block.label)
+    return preds
+
+
+def cfg_edges(func: Function) -> List[Tuple[str, str]]:
+    """All (source, target) control-flow edges, in layout order.
+
+    A two-way branch with identical targets contributes the edge twice —
+    callers that care about edge multiplicity (critical-edge checks,
+    degenerate-branch detection) need to see both.
+    """
+    edges: List[Tuple[str, str]] = []
+    for block in func.blocks:
+        for succ in block.successors():
+            edges.append((block.label, succ))
+    return edges
+
+
+def reachable_from_entry(func: Function) -> Set[str]:
+    """Labels of blocks reachable from the entry block."""
+    succs = successor_map(func)
+    reachable: Set[str] = set()
+    worklist: List[str] = [func.blocks[0].label] if func.blocks else []
+    while worklist:
+        label = worklist.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        worklist.extend(succ for succ in succs[label] if succ in succs)
+    return reachable
 
 
 def reachable_labels(func: Function) -> List[str]:
@@ -38,30 +113,32 @@ def reachable_labels(func: Function) -> List[str]:
     return order
 
 
-def dominators(func: Function) -> Dict[str, Set[str]]:
-    """Label -> set of labels that dominate it (including itself).
+def _iterative_dominators(
+    order: List[str],
+    entries: List[str],
+    preds: Dict[str, List[str]],
+) -> Dict[str, Set[str]]:
+    """The classic iterative dominator dataflow over an explicit edge map.
 
-    Classic iterative dataflow; only reachable blocks are included.
+    ``order`` lists the nodes to solve over (ideally topologically sorted
+    for fast convergence); ``entries`` are the boundary nodes that dominate
+    only themselves; ``preds`` gives the in-edges used for the meet.
+    Shared by :func:`dominators` and :func:`postdominators`, which differ
+    only in edge direction and boundary.
     """
-    order = reachable_labels(func)
-    block_map = func.block_map()
-    entry = order[0]
-    preds: Dict[str, List[str]] = {label: [] for label in order}
-    for label in order:
-        for succ in block_map[label].successors():
-            if succ in preds:
-                preds[succ].append(label)
-
     all_labels = set(order)
-    dom: Dict[str, Set[str]] = {label: set(all_labels) for label in order}
-    dom[entry] = {entry}
+    entry_set = set(entries)
+    dom: Dict[str, Set[str]] = {
+        label: ({label} if label in entry_set else set(all_labels))
+        for label in order
+    }
     changed = True
     while changed:
         changed = False
         for label in order:
-            if label == entry:
+            if label in entry_set:
                 continue
-            pred_doms = [dom[p] for p in preds[label]]
+            pred_doms = [dom[p] for p in preds[label] if p in dom]
             if pred_doms:
                 new = set.intersection(*pred_doms)
             else:
@@ -71,6 +148,50 @@ def dominators(func: Function) -> Dict[str, Set[str]]:
                 dom[label] = new
                 changed = True
     return dom
+
+
+def dominators(func: Function) -> Dict[str, Set[str]]:
+    """Label -> set of labels that dominate it (including itself).
+
+    Only reachable blocks are included.
+    """
+    order = reachable_labels(func)
+    order_set = set(order)
+    preds = {
+        label: [p for p in pred_list if p in order_set]
+        for label, pred_list in predecessor_map(func).items()
+        if label in order_set
+    }
+    return _iterative_dominators(order, [order[0]], preds)
+
+
+def exit_labels(func: Function) -> List[str]:
+    """Labels of blocks that leave the function (``ret`` or ``halt``)."""
+    exits: List[str] = []
+    for block in func.blocks:
+        term = block.terminator
+        if term is not None and term.op in (Opcode.RET, Opcode.HALT):
+            exits.append(block.label)
+    return exits
+
+
+def postdominators(func: Function) -> Dict[str, Set[str]]:
+    """Label -> set of labels that post-dominate it (including itself).
+
+    Computed over the reverse CFG with every exit block (``ret``/``halt``)
+    as a boundary node.  A block from which no exit is reachable (an
+    infinite loop) keeps the vacuous "everything post-dominates it" set;
+    blocks unreachable from the entry are still included, since
+    post-domination is a property of paths *to* the exit.
+    """
+    if not func.blocks:
+        return {}
+    succs = successor_map(func)
+    order = [block.label for block in func.blocks]
+    # Solve in reverse layout order: exits tend to come last, so walking
+    # the block list backwards approximates a reverse-CFG RPO.
+    order = list(reversed(order))
+    return _iterative_dominators(order, exit_labels(func), succs)
 
 
 def back_edges(func: Function) -> Set[Tuple[str, str]]:
@@ -91,23 +212,32 @@ def loop_headers(func: Function) -> Set[str]:
     return {header for _, header in back_edges(func)}
 
 
-def natural_loop_blocks(func: Function) -> Set[str]:
-    """All labels that belong to some natural loop body."""
-    block_map = func.block_map()
-    preds: Dict[str, List[str]] = {block.label: [] for block in func.blocks}
-    for block in func.blocks:
-        for succ in block.successors():
-            preds[succ].append(block.label)
+def natural_loop_bodies(func: Function) -> Dict[str, Set[str]]:
+    """Header label -> all labels in that header's natural loop.
 
-    members: Set[str] = set()
+    Back edges sharing a header are merged into one loop, per the usual
+    natural-loop definition.
+    """
+    preds = predecessor_map(func)
+    bodies: Dict[str, Set[str]] = {}
     for source, header in back_edges(func):
-        loop = {header, source}
+        loop = bodies.setdefault(header, {header})
         worklist = [source]
+        loop.add(source)
         while worklist:
             label = worklist.pop()
+            if label == header:
+                continue
             for pred in preds[label]:
                 if pred not in loop:
                     loop.add(pred)
                     worklist.append(pred)
-        members |= loop
+    return bodies
+
+
+def natural_loop_blocks(func: Function) -> Set[str]:
+    """All labels that belong to some natural loop body."""
+    members: Set[str] = set()
+    for body in natural_loop_bodies(func).values():
+        members |= body
     return members

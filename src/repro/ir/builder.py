@@ -19,7 +19,7 @@ class IRBuilder:
     code-generator mistakes early).
     """
 
-    def __init__(self, func: Function):
+    def __init__(self, func: Function) -> None:
         self.func = func
         self._block: Optional[BasicBlock] = None
         self._label_counter = 0

@@ -5,13 +5,13 @@ branch identities — the view MFPixie-style tooling works at.
 """
 from __future__ import annotations
 
-from typing import List
+from typing import Any, List, Tuple
 
 from repro.ir.lower import LoweredFunction, LoweredProgram
 from repro.ir.opcodes import BinOp, Opcode, UnOp
 
 
-def _format_ins(program: LoweredProgram, ins: tuple) -> str:
+def _format_ins(program: LoweredProgram, ins: Tuple[Any, ...]) -> str:
     op = Opcode(ins[0])
     if op == Opcode.CONST:
         return f"const   r{ins[1]}, {ins[2]}"

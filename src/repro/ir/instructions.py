@@ -13,7 +13,7 @@ and reflect the probabilities associated with the static source branches".
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.ir.opcodes import BinOp, Opcode, UnOp
 
@@ -104,7 +104,7 @@ class Instr:
         used.extend(self.args)
         return used
 
-    def replace_uses(self, mapping: dict) -> None:
+    def replace_uses(self, mapping: Mapping[int, int]) -> None:
         """Rewrite used registers through ``mapping`` (reg -> reg), in place."""
         if self.a is not None:
             self.a = mapping.get(self.a, self.a)

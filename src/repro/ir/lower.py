@@ -36,10 +36,10 @@ whose target is the immediately following block is elided.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.ir.cfg import IRError, Module
-from repro.ir.instructions import BranchId
+from repro.ir.cfg import BasicBlock, Function, IRError, Module
+from repro.ir.instructions import BranchId, Instr
 from repro.ir.opcodes import Opcode
 from repro.ir.validate import validate_module
 
@@ -51,7 +51,7 @@ class LoweredFunction:
     name: str
     num_params: int
     num_regs: int
-    code: List[tuple]
+    code: List[Tuple[Any, ...]]
 
 
 @dataclasses.dataclass
@@ -107,7 +107,7 @@ def lower_module(module: Module, validate: bool = True) -> LoweredProgram:
     )
 
 
-def _layout_blocks(func) -> List:
+def _layout_blocks(func: Function) -> List[BasicBlock]:
     """Order blocks to maximize fall-through (greedy chain placement).
 
     Starting from each not-yet-placed block (entry first), follow the jump
@@ -116,10 +116,10 @@ def _layout_blocks(func) -> List:
     a good ILP compiler performs to eliminate unconditional-jump breaks.
     """
     block_map = {block.label: block for block in func.blocks}
-    placed: List = []
-    visited = set()
+    placed: List[BasicBlock] = []
+    visited: Set[str] = set()
     for seed in func.blocks:
-        block = seed
+        block: Optional[BasicBlock] = seed
         while block is not None and block.label not in visited:
             visited.add(block.label)
             placed.append(block)
@@ -130,12 +130,15 @@ def _layout_blocks(func) -> List:
                     succ = term.then_label
                 elif term.op == Opcode.BR:
                     succ = term.else_label
-            block = block_map.get(succ) if succ not in visited else None
+            if succ is None or succ in visited:
+                block = None
+            else:
+                block = block_map.get(succ)
     return placed
 
 
 def _lower_function(
-    func,
+    func: Function,
     symbols: Dict[str, int],
     function_index: Dict[str, int],
     branch_table: List[BranchId],
@@ -154,7 +157,7 @@ def _lower_function(
                 continue
             pc += 1
 
-    code: List[tuple] = []
+    code: List[Tuple[Any, ...]] = []
     for position, block in enumerate(blocks):
         for instr in block.instrs:
             if _is_fallthrough_jump(blocks, position, instr):
@@ -174,7 +177,9 @@ def _lower_function(
     )
 
 
-def _is_fallthrough_jump(blocks: List, position: int, instr) -> bool:
+def _is_fallthrough_jump(
+    blocks: List[BasicBlock], position: int, instr: Instr
+) -> bool:
     """Whether ``instr`` is a JMP to the next block in layout order."""
     if instr.op != Opcode.JMP:
         return False
@@ -184,13 +189,13 @@ def _is_fallthrough_jump(blocks: List, position: int, instr) -> bool:
 
 
 def _lower_instr(
-    instr,
+    instr: Instr,
     block_pcs: Dict[str, int],
     symbols: Dict[str, int],
     function_index: Dict[str, int],
     branch_table: List[BranchId],
     branch_index: Dict[BranchId, int],
-) -> tuple:
+) -> Tuple[Any, ...]:
     op = instr.op
     if op == Opcode.CONST:
         return (int(Opcode.CONST), instr.dst, instr.imm)

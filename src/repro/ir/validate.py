@@ -1,9 +1,10 @@
 """IR validation: catches malformed modules before they reach the VM."""
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
 from repro.ir.cfg import Function, IRError, Module
+from repro.ir.instructions import Instr
 from repro.ir.opcodes import BinOp, Opcode, UnOp
 
 
@@ -29,7 +30,8 @@ def validate_module(module: Module) -> None:
 
 
 def _validate_function(
-    module: Module, func: Function, global_names: set, function_names: set
+    module: Module, func: Function, global_names: Set[str],
+    function_names: Set[str],
 ) -> None:
     if not func.blocks:
         raise IRError(f"function {func.name!r} has no blocks")
@@ -41,6 +43,7 @@ def _validate_function(
 
     labels = func.block_map()  # raises on duplicates
     seen_branch_ids = set()
+    entry_label = func.blocks[0].label
 
     for block in func.blocks:
         where = f"{func.name}/{block.label}"
@@ -78,11 +81,24 @@ def _validate_function(
                         f"{where}: BranchId {instr.branch_id} names another function"
                     )
             for succ in instr.successors():
+                if succ is None:
+                    raise IRError(
+                        f"{where}: {instr.op.name.lower()} terminator is "
+                        f"missing a target label"
+                    )
                 if succ not in labels:
-                    raise IRError(f"{where}: branch to unknown block {succ!r}")
+                    raise IRError(f"{where}: branch to undefined label {succ!r}")
+                if succ == entry_label:
+                    # The entry block is the function's unique start: a
+                    # predecessor would make parameter state on re-entry
+                    # ambiguous and breaks the dominator/loop machinery.
+                    raise IRError(
+                        f"{where}: branch targets the entry block "
+                        f"{entry_label!r}"
+                    )
 
 
-def _validate_registers(func: Function, where: str, instr) -> None:
+def _validate_registers(func: Function, where: str, instr: Instr) -> None:
     regs: List[int] = list(instr.uses())
     if instr.dst is not None:
         regs.append(instr.dst)

@@ -3,55 +3,21 @@
 Pure instructions whose destination register is not live afterwards are
 removed.  This, with branch folding and unreachable-block removal, makes up
 the dead code elimination the paper turned off and measured in Table 1.
+The liveness itself comes from the shared dataflow framework
+(:mod:`repro.analysis.liveness`).
 """
 from __future__ import annotations
 
-from typing import Dict, Set
-
+from repro.analysis.liveness import live_out
 from repro.ir.cfg import Function
-
-
-def _block_use_def(block) -> tuple:
-    """(use, def): regs read before any write / regs written, per block."""
-    uses: Set[int] = set()
-    defs: Set[int] = set()
-    for instr in block.instrs:
-        for reg in instr.uses():
-            if reg not in defs:
-                uses.add(reg)
-        if instr.dst is not None:
-            defs.add(instr.dst)
-    return uses, defs
-
-
-def _liveness(func: Function) -> Dict[str, Set[int]]:
-    """live-out register sets per block label."""
-    use_def = {block.label: _block_use_def(block) for block in func.blocks}
-    live_in: Dict[str, Set[int]] = {block.label: set() for block in func.blocks}
-    live_out: Dict[str, Set[int]] = {block.label: set() for block in func.blocks}
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(func.blocks):
-            label = block.label
-            out: Set[int] = set()
-            for succ in block.successors():
-                out |= live_in[succ]
-            uses, defs = use_def[label]
-            new_in = uses | (out - defs)
-            if out != live_out[label] or new_in != live_in[label]:
-                live_out[label] = out
-                live_in[label] = new_in
-                changed = True
-    return live_out
 
 
 def eliminate_dead_instructions(func: Function) -> bool:
     """Remove pure instructions whose results are never used."""
-    live_out = _liveness(func)
+    liveness = live_out(func)
     changed = False
     for block in func.blocks:
-        live = set(live_out[block.label])
+        live = set(liveness[block.label])
         kept = []
         for instr in reversed(block.instrs):
             dst = instr.dst

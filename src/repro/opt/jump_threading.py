@@ -6,8 +6,9 @@ code"; threading plus the fall-through elision in lowering is our equivalent.
 """
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set
 
+from repro.ir.analysis import retarget_block
 from repro.ir.cfg import Function
 from repro.ir.opcodes import Opcode
 
@@ -17,13 +18,15 @@ def thread_jumps(func: Function) -> bool:
     trivial: Dict[str, str] = {}
     for block in func.blocks:
         if len(block.instrs) == 1 and block.instrs[0].op == Opcode.JMP:
-            trivial[block.label] = block.instrs[0].then_label
+            target = block.instrs[0].then_label
+            if target is not None:
+                trivial[block.label] = target
 
     if not trivial:
         return False
 
     def resolve(label: str) -> str:
-        seen = set()
+        seen: Set[str] = set()
         while label in trivial and label not in seen:
             seen.add(label)
             label = trivial[label]
@@ -31,19 +34,5 @@ def thread_jumps(func: Function) -> bool:
 
     changed = False
     for block in func.blocks:
-        term = block.terminator
-        if term is None:
-            continue
-        if term.op == Opcode.JMP:
-            target = resolve(term.then_label)
-            if target != term.then_label:
-                term.then_label = target
-                changed = True
-        elif term.op == Opcode.BR:
-            then_target = resolve(term.then_label)
-            else_target = resolve(term.else_label)
-            if then_target != term.then_label or else_target != term.else_label:
-                term.then_label = then_target
-                term.else_label = else_target
-                changed = True
+        changed |= retarget_block(block, resolve)
     return changed

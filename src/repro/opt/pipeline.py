@@ -12,8 +12,11 @@ would have removed.
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable, List, Mapping, Optional
 
-from repro.ir.cfg import Module
+from repro.analysis.lint import format_findings, lint_errors
+from repro.ir.cfg import Function, IRError, Module
+from repro.ir.validate import validate_module
 from repro.opt.branch_folding import fold_branches
 from repro.opt.constant_folding import fold_function
 from repro.opt.copy_propagation import propagate_function
@@ -77,32 +80,114 @@ class OptOptions:
         )
 
 
-def optimize_module(module: Module, options: OptOptions = None) -> Module:
-    """Run the configured passes to a fixpoint (bounded), in place."""
+@dataclasses.dataclass(frozen=True)
+class Pass:
+    """A named pipeline pass: an enable switch plus a per-function body."""
+
+    name: str
+    enabled: Callable[[OptOptions], bool]
+    run: Callable[[Function, Mapping[str, int]], bool]
+
+
+#: Pipeline order.  Each entry runs over every function before the next
+#: starts; passes are intraprocedural, so this produces the same IR as the
+#: historical function-major loop while giving the sanitizer a well-defined
+#: "after pass X" point to re-check invariants at.
+PASSES: List[Pass] = [
+    Pass(
+        "constant-folding",
+        lambda options: options.constant_folding,
+        fold_function,
+    ),
+    Pass(
+        "copy-propagation",
+        lambda options: options.copy_propagation,
+        lambda func, const_globals: propagate_function(func),
+    ),
+    Pass("cse", lambda options: options.cse, lambda func, _: cse_function(func)),
+    Pass(
+        "jump-threading",
+        lambda options: options.jump_threading,
+        lambda func, _: thread_jumps(func),
+    ),
+    Pass(
+        "if-conversion",
+        lambda options: options.if_conversion,
+        lambda func, _: if_convert_function(func),
+    ),
+    Pass(
+        "branch-folding",
+        lambda options: options.branch_folding,
+        fold_branches,
+    ),
+    Pass(
+        "remove-unreachable",
+        lambda options: options.remove_unreachable,
+        lambda func, _: remove_unreachable(func),
+    ),
+    Pass(
+        "dead-instructions",
+        lambda options: options.dead_instructions,
+        lambda func, _: eliminate_dead_instructions(func),
+    ),
+]
+
+
+class PipelineSanityError(IRError):
+    """An optimization pass left the module in an invalid state.
+
+    Carries the name of the offending pass — the whole point of the
+    sanitizer is turning "some pass somewhere broke the IR" into "pass X
+    broke invariant Y".
+    """
+
+    def __init__(self, pass_name: str, details: str) -> None:
+        super().__init__(
+            f"IR invariants violated after pass {pass_name!r}:\n{details}"
+        )
+        self.pass_name = pass_name
+        self.details = details
+
+
+def _check_invariants(module: Module, pass_name: str) -> None:
+    try:
+        validate_module(module)
+    except IRError as exc:
+        raise PipelineSanityError(pass_name, str(exc)) from exc
+    errors = lint_errors(module)
+    if errors:
+        raise PipelineSanityError(pass_name, format_findings(errors))
+
+
+def optimize_module(
+    module: Module,
+    options: Optional[OptOptions] = None,
+    sanitize: bool = False,
+) -> Module:
+    """Run the configured passes to a fixpoint (bounded), in place.
+
+    With ``sanitize``, the module is re-validated (structural checks plus
+    error-severity lint rules) after every pass that changed it;
+    a violation raises :class:`PipelineSanityError` naming the pass.
+    """
     if options is None:
         options = OptOptions.classical()
+    if sanitize:
+        _check_invariants(module, "<input>")
     for _ in range(options.max_iterations):
         changed = False
         const_globals = (
             constant_globals(module) if options.global_constants else {}
         )
-        for func in module.functions:
-            if options.constant_folding:
-                changed |= fold_function(func, const_globals)
-            if options.copy_propagation:
-                changed |= propagate_function(func)
-            if options.cse:
-                changed |= cse_function(func)
-            if options.jump_threading:
-                changed |= thread_jumps(func)
-            if options.if_conversion:
-                changed |= if_convert_function(func)
-            if options.branch_folding:
-                changed |= fold_branches(func, const_globals)
-            if options.remove_unreachable:
-                changed |= remove_unreachable(func)
-            if options.dead_instructions:
-                changed |= eliminate_dead_instructions(func)
+        for pipeline_pass in PASSES:
+            if not pipeline_pass.enabled(options):
+                continue
+            pass_changed = False
+            for func in module.functions:
+                pass_changed |= pipeline_pass.run(func, const_globals)
+            if sanitize and pass_changed:
+                _check_invariants(module, pipeline_pass.name)
+            changed |= pass_changed
         if not changed:
             break
     return module

@@ -1,8 +1,7 @@
 """Unreachable-block removal (part of the dead code elimination trio)."""
 from __future__ import annotations
 
-from typing import List, Set
-
+from repro.ir.analysis import reachable_from_entry
 from repro.ir.cfg import Function
 
 
@@ -10,15 +9,7 @@ def remove_unreachable(func: Function) -> bool:
     """Drop blocks not reachable from the entry block."""
     if not func.blocks:
         return False
-    block_map = func.block_map()
-    reachable: Set[str] = set()
-    worklist: List[str] = [func.blocks[0].label]
-    while worklist:
-        label = worklist.pop()
-        if label in reachable:
-            continue
-        reachable.add(label)
-        worklist.extend(block_map[label].successors())
+    reachable = reachable_from_entry(func)
     if len(reachable) == len(func.blocks):
         return False
     func.blocks = [block for block in func.blocks if block.label in reachable]

@@ -10,6 +10,7 @@ from repro.prediction.heuristics import (
     LoopHeuristicPredictor,
     OpcodeHeuristicPredictor,
 )
+from repro.prediction.proofs import StaticProofPredictor
 
 __all__ = [
     "COMBINE_MODES",
@@ -19,6 +20,7 @@ __all__ = [
     "PredictionReport",
     "ProfilePredictor",
     "StaticPredictor",
+    "StaticProofPredictor",
     "combine_profiles",
     "evaluate_static",
     "leave_one_out",

@@ -10,33 +10,11 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.ir.analysis import back_edges
-from repro.ir.cfg import Function, Module
+from repro.ir.analysis import natural_loop_bodies
+from repro.ir.cfg import Module
 from repro.ir.instructions import BranchId
 from repro.ir.opcodes import BinOp, Opcode
 from repro.prediction.base import StaticPredictor
-
-
-def _loop_bodies(func: Function) -> Dict[str, set]:
-    """header label -> set of block labels in that natural loop."""
-    preds: Dict[str, list] = {block.label: [] for block in func.blocks}
-    for block in func.blocks:
-        for succ in block.successors():
-            preds[succ].append(block.label)
-    bodies: Dict[str, set] = {}
-    for source, header in back_edges(func):
-        loop = bodies.setdefault(header, {header})
-        worklist = [source]
-        loop.add(source)
-        while worklist:
-            label = worklist.pop()
-            if label == header:
-                continue
-            for pred in preds[label]:
-                if pred not in loop:
-                    loop.add(pred)
-                    worklist.append(pred)
-    return bodies
 
 
 class LoopHeuristicPredictor(StaticPredictor):
@@ -53,7 +31,7 @@ class LoopHeuristicPredictor(StaticPredictor):
     def __init__(self, module: Module) -> None:
         self._directions: Dict[BranchId, bool] = {}
         for func in module.functions:
-            bodies = _loop_bodies(func)
+            bodies = natural_loop_bodies(func)
             for block in func.blocks:
                 term = block.terminator
                 if term is None or term.op != Opcode.BR:

@@ -1,0 +1,41 @@
+"""Profile-free prediction from static branch-direction proofs.
+
+The third point on the paper's axis: self-profile and cross-profile
+prediction both need a previous run; the prover needs none.  Proven
+branches get their proven direction (and by construction never
+mispredict); everything else falls back to a configurable predictor —
+not-taken by default, so the difference against ``FixedPredictor(False)``
+isolates exactly what the proofs buy.
+"""
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.prover import BranchProof, proof_directions, prove_module
+from repro.ir.cfg import Module
+from repro.ir.instructions import BranchId
+from repro.opt.globalconst import constant_globals
+from repro.prediction.base import FixedPredictor, StaticPredictor
+
+
+class StaticProofPredictor(StaticPredictor):
+    """Proven directions where available, a fallback everywhere else."""
+
+    def __init__(
+        self, module: Module, fallback: Optional[StaticPredictor] = None
+    ) -> None:
+        self.proofs: List[BranchProof] = prove_module(
+            module, constant_globals(module)
+        )
+        self._directions = proof_directions(self.proofs)
+        self.fallback = fallback if fallback is not None else FixedPredictor(False)
+        self.name = f"proofs+{self.fallback.name}"
+
+    def predict(self, branch_id: BranchId) -> bool:
+        direction = self._directions.get(branch_id)
+        if direction is not None:
+            return direction
+        return self.fallback.predict(branch_id)
+
+    def is_proven(self, branch_id: BranchId) -> bool:
+        return branch_id in self._directions

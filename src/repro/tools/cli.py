@@ -7,6 +7,7 @@ Subcommands::
     repro-mf feedback program.mf --db prof.json -o program_fb.mf
     repro-mf predict program.mf --input new.bin --db prof.json
     repro-mf dynsim program.mf --input data.bin --table-size 256
+    repro-mf lint program.mf
     repro-mf report --db prof.json
 
 ``profile`` accumulates branch counters into a JSON database across runs
@@ -206,6 +207,27 @@ def cmd_dynsim(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import lint_module, severity_counts
+
+    source = _load_source(args.program)
+    compiled = compile_source(
+        source, name=_program_name(args.program), options=_compile_options(args)
+    )
+    findings = lint_module(compiled.module, min_severity=args.min_severity)
+    for finding in findings:
+        print(finding)
+    counts = severity_counts(findings)
+    summary = ", ".join(
+        f"{count} {severity}{'s' if count != 1 else ''}"
+        for severity, count in counts.items()
+        if count
+    )
+    print(f"{args.program}: {summary or 'clean'}")
+    failing = counts["error"] + (counts["warning"] if args.strict else 0)
+    return 1 if failing else 0
+
+
 def cmd_disasm(args) -> int:
     from repro.ir.disasm import disassemble
 
@@ -312,6 +334,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compile_flags(dynsim_parser)
     dynsim_parser.set_defaults(handler=cmd_dynsim)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the IR sanitizer over the compiled program"
+    )
+    lint_parser.add_argument("program")
+    lint_parser.add_argument(
+        "--min-severity",
+        choices=["error", "warning", "info"],
+        default="info",
+        help="lowest severity to report (default: info, i.e. everything)",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings as well as errors",
+    )
+    _add_compile_flags(lint_parser)
+    lint_parser.set_defaults(handler=cmd_lint)
 
     disasm_parser = subparsers.add_parser(
         "disasm", help="disassemble the compiled program"

@@ -2,10 +2,16 @@
 from repro.compiler import CompileOptions, compile_source
 from repro.ir.analysis import (
     back_edges,
+    cfg_edges,
     dominators,
+    exit_labels,
     loop_headers,
+    natural_loop_bodies,
     natural_loop_blocks,
+    postdominators,
+    predecessor_map,
     reachable_labels,
+    successor_map,
 )
 
 
@@ -102,3 +108,70 @@ def test_unreachable_blocks_excluded_from_order():
     func = function_of(source)
     order = reachable_labels(func)
     assert len(order) <= len(func.blocks)
+
+
+def test_cfg_edges_match_successor_and_predecessor_maps():
+    func = function_of(NESTED_LOOPS)
+    edges = cfg_edges(func)
+    succs = successor_map(func)
+    preds = predecessor_map(func)
+    for source_label, target in edges:
+        assert target in succs[source_label]
+        assert source_label in preds[target]
+    # Every successor pair appears as an edge.
+    derived = {(s, t) for s, targets in succs.items() for t in targets}
+    assert derived == set(edges)
+
+
+def test_exit_labels_are_return_blocks():
+    func = function_of(SIMPLE_LOOP)
+    exits = exit_labels(func)
+    assert exits
+    for label in exits:
+        block = next(b for b in func.blocks if b.label == label)
+        assert not block.successors()
+
+
+def test_exit_postdominates_everything():
+    func = function_of(SIMPLE_LOOP)
+    pdom = postdominators(func)
+    exits = exit_labels(func)
+    # Every reachable block is postdominated by itself, and blocks on the
+    # path to the single exit are postdominated by it.
+    for label, pdoms in pdom.items():
+        assert label in pdoms
+    if len(exits) == 1:
+        exit_label = next(iter(exits))
+        for label in reachable_labels(func):
+            assert exit_label in pdom[label]
+
+
+def test_postdominators_of_diamond_join():
+    source = """
+    func main() {
+        var x = 1; var y;
+        if (x) { y = 2; } else { y = 3; }
+        return y;
+    }
+    """
+    func = function_of(source)
+    pdom = postdominators(func)
+    entry = func.blocks[0].label
+    # The join (and the exit) postdominate the entry; the two arms do not.
+    arms = [
+        block.label
+        for block in func.blocks
+        if len(predecessor_map(func).get(block.label, [])) == 1
+        and block.label != entry
+    ]
+    for arm in arms:
+        assert arm not in pdom[entry]
+
+
+def test_natural_loop_bodies_keyed_by_header():
+    func = function_of(NESTED_LOOPS)
+    bodies = natural_loop_bodies(func)
+    assert set(bodies) == loop_headers(func)
+    for header, body in bodies.items():
+        assert header in body
+    assert natural_loop_blocks(func) == set().union(*bodies.values())

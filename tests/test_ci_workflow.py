@@ -43,10 +43,16 @@ def test_jobs_run_the_advertised_commands(workflow):
     assert any("pytest -x -q" in line for line in _run_lines(jobs["tests"]))
     assert any("ruff check" in line for line in _run_lines(jobs["lint"]))
     assert any(
+        "mypy --strict" in line for line in _run_lines(jobs["lint"])
+    ), "the lint job must type-check the IR and analysis layers"
+    assert any(
         "pytest benchmarks" in line
         for line in _run_lines(jobs["benchmark-smoke"])
     )
     assert any("examples/*.py" in line for line in _run_lines(jobs["examples"]))
+    assert any(
+        "repro-mf lint" in line for line in _run_lines(jobs["examples"])
+    ), "the examples job must IR-lint the bundled programs"
 
 
 def test_setup_python_uses_pip_caching(workflow):

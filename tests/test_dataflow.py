@@ -1,0 +1,280 @@
+"""Dataflow framework tests: solver behavior and the concrete analyses."""
+import pytest
+
+from repro.analysis import (
+    GETC_RANGE,
+    TOP,
+    Interval,
+    constants,
+    hull,
+    intersect,
+    live_sets,
+    maybe_uninitialized_uses,
+    ranges,
+    reaching_definitions,
+)
+from repro.analysis.ranges import compare_intervals
+from repro.compiler import CompileOptions, compile_source
+from repro.ir.cfg import BasicBlock, Function
+from repro.ir.instructions import BranchId, Instr
+from repro.ir.opcodes import BinOp, Opcode
+
+
+def function_of(source, name="main"):
+    program = compile_source(source, options=CompileOptions(enable_select=False))
+    return program.module.function(name)
+
+
+def _br(cond, then_label, else_label, index=0, function="main"):
+    return Instr(
+        Opcode.BR,
+        a=cond,
+        then_label=then_label,
+        else_label=else_label,
+        branch_id=BranchId(function, index),
+    )
+
+
+# -- solver ---------------------------------------------------------------------
+
+
+def test_solver_terminates_on_unreachable_cycle():
+    # entry returns; a two-block cycle floats unreachable behind it.
+    func = Function(name="main", num_params=0, num_regs=1)
+    func.blocks = [
+        BasicBlock("entry", [Instr(Opcode.CONST, dst=0, imm=1),
+                             Instr(Opcode.RET, a=0)]),
+        BasicBlock("a", [Instr(Opcode.JMP, then_label="b")]),
+        BasicBlock("b", [Instr(Opcode.JMP, then_label="a")]),
+    ]
+    result = constants(func)
+    assert result.before["a"] is None  # unreachable = bottom
+    assert result.before["b"] is None
+    assert result.before["entry"] == {}
+
+
+def test_forward_reachability_via_constant_branch_pruning():
+    func = function_of(
+        """
+        func main() {
+            var flag = 0; var n = 1;
+            if (flag) { n = 2; }
+            return n;
+        }
+        """
+    )
+    result = constants(func)
+    # Exactly one block (the then-arm) is pruned as infeasible.
+    unreachable = [
+        block.label
+        for block in func.blocks
+        if result.before[block.label] is None
+    ]
+    assert len(unreachable) == 1
+
+
+# -- liveness -------------------------------------------------------------------
+
+
+def test_liveness_diamond():
+    # if (r0) r1 = 1 else r1 = 2; return r1
+    func = Function(name="main", num_params=1, num_regs=2)
+    func.blocks = [
+        BasicBlock("entry", [_br(0, "t", "f")]),
+        BasicBlock("t", [Instr(Opcode.CONST, dst=1, imm=1),
+                         Instr(Opcode.JMP, then_label="join")]),
+        BasicBlock("f", [Instr(Opcode.CONST, dst=1, imm=2),
+                         Instr(Opcode.JMP, then_label="join")]),
+        BasicBlock("join", [Instr(Opcode.RET, a=1)]),
+    ]
+    live_in, live_out = live_sets(func)
+    assert live_in["entry"] == {0}
+    assert live_out["t"] == {1}
+    assert live_out["f"] == {1}
+    assert live_in["join"] == {1}
+    assert live_out["join"] == set()
+
+
+def test_liveness_keeps_infinite_loop_blocks_at_boundary():
+    # An infinite loop has no path to exit; bottom_is_boundary must keep
+    # its live sets defined (matching historical dead-code semantics).
+    func = Function(name="main", num_params=0, num_regs=2)
+    func.blocks = [
+        BasicBlock("entry", [Instr(Opcode.CONST, dst=0, imm=1),
+                             Instr(Opcode.JMP, then_label="loop")]),
+        BasicBlock("loop", [Instr(Opcode.BIN, dst=1, a=0, b=0,
+                                  subop=int(BinOp.ADD)),
+                            Instr(Opcode.JMP, then_label="loop")]),
+    ]
+    live_in, live_out = live_sets(func)
+    assert live_in["loop"] == {0}
+    assert live_out["loop"] == {0}
+
+
+# -- reaching definitions / definite assignment ---------------------------------
+
+
+def test_reaching_definitions_params_and_kills():
+    func = function_of(
+        """
+        func f(a) {
+            var x = a + 1;
+            x = x * 2;
+            return x;
+        }
+        func main() { return f(3); }
+        """,
+        name="f",
+    )
+    reaching = reaching_definitions(func)
+    entry = func.blocks[0].label
+    # At function entry only the parameter definition reaches.
+    assert all(fact[1:] == ("<entry>", -1) for fact in reaching[entry])
+
+
+def test_maybe_uninitialized_uses_detects_one_armed_init():
+    func = Function(name="main", num_params=1, num_regs=2)
+    func.blocks = [
+        BasicBlock("entry", [_br(0, "t", "join")]),
+        BasicBlock("t", [Instr(Opcode.CONST, dst=1, imm=1),
+                         Instr(Opcode.JMP, then_label="join")]),
+        BasicBlock("join", [Instr(Opcode.RET, a=1)]),
+    ]
+    findings = maybe_uninitialized_uses(func)
+    assert [(label, reg) for label, _, _, reg in findings] == [("join", 1)]
+
+
+def test_maybe_uninitialized_ignores_unreachable_blocks():
+    func = Function(name="main", num_params=0, num_regs=2)
+    func.blocks = [
+        BasicBlock("entry", [Instr(Opcode.CONST, dst=0, imm=0),
+                             Instr(Opcode.RET, a=0)]),
+        BasicBlock("orphan", [Instr(Opcode.RET, a=1)]),
+    ]
+    assert maybe_uninitialized_uses(func) == []
+
+
+# -- constant propagation -------------------------------------------------------
+
+
+def test_constprop_meet_keeps_agreeing_constants():
+    func = function_of(
+        """
+        func main() {
+            var x;
+            if (getc() > 0) { x = 7; } else { x = 7; }
+            return x;
+        }
+        """
+    )
+    result = constants(func)
+    ret_block = next(
+        b for b in func.blocks
+        if b.terminator is not None and b.terminator.op == Opcode.RET
+    )
+    state = result.before[ret_block.label]
+    assert state is not None
+    assert 7 in state.values()
+
+
+def test_constprop_folds_constant_global_loads():
+    func = function_of(
+        """
+        var knob = 0;
+        func main() {
+            if (knob) { return 1; }
+            return 0;
+        }
+        """
+    )
+    result = constants(func, const_globals={"knob": 0})
+    branch_block = next(
+        b for b in func.blocks
+        if b.terminator is not None and b.terminator.op == Opcode.BR
+    )
+    state = result.after[branch_block.label]
+    assert state is not None
+    assert state.get(branch_block.terminator.a) == 0
+
+
+# -- ranges ---------------------------------------------------------------------
+
+
+def test_interval_helpers():
+    assert hull(Interval(0, 1), Interval(5, 9)) == Interval(0, 9)
+    assert intersect(Interval(0, 10), Interval(5, 20)) == Interval(5, 10)
+    assert intersect(Interval(0, 1), Interval(5, 9)) is None
+    assert Interval(1, 5).excludes_zero()
+    assert Interval(-3, -1).excludes_zero()
+    assert not Interval(0, 1).excludes_zero()
+    with pytest.raises(ValueError):
+        Interval(2, 1)
+
+
+def test_compare_intervals_decides_disjoint():
+    assert compare_intervals(BinOp.LT, Interval(0, 4), Interval(5, 9)) is True
+    assert compare_intervals(BinOp.GE, Interval(0, 4), Interval(5, 9)) is False
+    assert compare_intervals(BinOp.LT, Interval(0, 5), Interval(5, 9)) is None
+    assert compare_intervals(BinOp.EQ, Interval(1, 1), Interval(1, 1)) is True
+    assert compare_intervals(BinOp.NE, Interval(0, 0), Interval(1, 5)) is True
+
+
+def test_getc_result_is_bounded():
+    func = Function(name="main", num_params=0, num_regs=1)
+    func.blocks = [
+        BasicBlock("entry", [Instr(Opcode.GETC, dst=0),
+                             Instr(Opcode.RET, a=0)]),
+    ]
+    result = ranges(func)
+    assert result.after["entry"][0] == GETC_RANGE
+
+
+def test_range_widening_terminates_and_keeps_lower_bound():
+    func = function_of(
+        """
+        func main() {
+            var i = 0; var n = 0;
+            while (i < 10) { n = n + i; i = i + 1; }
+            return i;
+        }
+        """
+    )
+    result = ranges(func)  # must terminate despite the increasing counter
+    for block in func.blocks:
+        state = result.after[block.label]
+        if state is None:
+            continue
+        for interval in state.values():
+            assert interval != TOP
+
+
+def test_comparison_refinement_proves_second_guard():
+    # The first guard pins x > 5 on the taken path; the second x > 0 test
+    # in that region is then range-decided.
+    func = function_of(
+        """
+        func main() {
+            var x = getc();
+            if (x > 5) {
+                if (x > 0) { return 1; }
+                return 2;
+            }
+            return 0;
+        }
+        """
+    )
+    result = ranges(func)
+    branches = [
+        b for b in func.blocks
+        if b.terminator is not None and b.terminator.op == Opcode.BR
+        and b.terminator.then_label != b.terminator.else_label
+    ]
+    decided = []
+    for block in branches:
+        state = result.after[block.label]
+        if state is None:
+            continue
+        interval = state.get(block.terminator.a, TOP)
+        if interval.excludes_zero() or interval == Interval(0, 0):
+            decided.append(block.label)
+    assert decided  # the inner guard is proven by refinement

@@ -67,7 +67,7 @@ def test_validate_rejects_unknown_branch_target():
     func.blocks.append(
         BasicBlock("entry", [Instr(Opcode.JMP, then_label="nowhere")])
     )
-    with pytest.raises(IRError, match="unknown block"):
+    with pytest.raises(IRError, match="undefined label"):
         validate_module(Module(name="m", functions=[func]))
 
 
