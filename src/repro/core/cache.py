@@ -10,13 +10,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from typing import Optional
 
 from repro.ir.instructions import BranchId
 from repro.vm.counters import ControlEvents, RunResult
 
-#: Bump when the RunResult layout or counting semantics change.
-CACHE_FORMAT_VERSION = 3
+#: Bump when the RunResult layout, counting semantics, or digest scheme
+#: change.  v4: length-prefixed digest fields (the v3 ``|``-joined form was
+#: not injective across field boundaries).
+CACHE_FORMAT_VERSION = 4
 
 
 def run_result_to_dict(result: RunResult) -> dict:
@@ -51,12 +54,19 @@ def run_result_from_dict(data: dict) -> RunResult:
 
 
 def run_digest(source: str, input_data: bytes, config: str) -> str:
-    """Digest identifying one run for caching purposes."""
+    """Digest identifying one run for caching purposes.
+
+    Every field is length-prefixed before hashing so the encoding is
+    injective: joining with a separator alone would let content containing
+    the separator shift across field boundaries — e.g.
+    ``(source="x|y", input=b"z")`` vs ``(source="x", input=b"y|z")`` —
+    and serve the wrong cached run.
+    """
     hasher = hashlib.sha256()
-    hasher.update(f"v{CACHE_FORMAT_VERSION}|{config}|".encode())
-    hasher.update(source.encode())
-    hasher.update(b"|")
-    hasher.update(input_data)
+    hasher.update(f"v{CACHE_FORMAT_VERSION}".encode())
+    for field in (config.encode(), source.encode(), input_data):
+        hasher.update(b"%d:" % len(field))
+        hasher.update(field)
     return hasher.hexdigest()[:32]
 
 
@@ -87,7 +97,21 @@ class DiskCache:
         if not self.directory:
             return
         path = self._path(digest)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(run_result_to_dict(result), handle)
-        os.replace(tmp_path, path)
+        # Unique per-writer temp file: a shared "<path>.tmp" lets two
+        # parallel workers storing the same digest interleave writes (and
+        # race the final rename), leaving a corrupt or vanished entry.
+        # mkstemp in the cache directory keeps the os.replace atomic
+        # (same filesystem) while giving each writer its own file.
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f"{digest}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(run_result_to_dict(result), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

@@ -127,8 +127,9 @@ _WORKER_RUNNER: Optional[WorkloadRunner] = None
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
-    """Build one runner per worker process so compiled programs are
-    reused across the runs a worker executes."""
+    """Build one runner per worker process so compiled programs — and the
+    fast engine's predecoded form cached on them — are reused across the
+    runs a worker executes."""
     global _WORKER_RUNNER
     _WORKER_RUNNER = WorkloadRunner(cache_dir=cache_dir)
 

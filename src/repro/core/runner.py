@@ -72,6 +72,7 @@ class WorkloadRunner:
         self._disk = DiskCache(cache_dir)
         self._programs: Dict[Tuple[str, RunConfig], CompiledProgram] = {}
         self._runs: Dict[Tuple[str, str, RunConfig], RunResult] = {}
+        self._machine = Machine()
         self.jobs = resolve_jobs(jobs)
 
     @staticmethod
@@ -139,12 +140,15 @@ class WorkloadRunner:
         key: Tuple[str, str, RunConfig],
         monitors: Sequence[BranchMonitor],
     ) -> RunResult:
+        # Compiled programs are memoized per (workload, config), and the
+        # fast engine caches its predecoded form on the LoweredProgram
+        # itself — so a sweep over many datasets of one workload pays
+        # compile + predecode exactly once per process.
         workload_name, dataset_name, run_config = key
         workload = get_workload(workload_name)
         dataset = workload.dataset(dataset_name)
         compiled = self.compiled(workload_name, config=run_config)
-        machine = Machine()
-        return machine.run(
+        return self._machine.run(
             compiled.lowered, input_data=dataset.data, monitors=monitors
         )
 

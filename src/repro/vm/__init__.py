@@ -4,6 +4,7 @@ from repro.vm.errors import InstructionLimitExceeded, VMError
 from repro.vm.machine import (
     DEFAULT_MAX_CALL_DEPTH,
     DEFAULT_MAX_INSTRUCTIONS,
+    ENGINES,
     Machine,
     run_program,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "ControlEvents",
     "DEFAULT_MAX_CALL_DEPTH",
     "DEFAULT_MAX_INSTRUCTIONS",
+    "ENGINES",
     "InstructionLimitExceeded",
     "Machine",
     "OnlinePredictorMonitor",

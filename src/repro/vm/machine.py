@@ -6,9 +6,20 @@ and every other control-transfer event.  Execution starts at ``main`` (which
 takes no arguments); the program ends when ``main`` returns or a ``halt``
 executes, and ``main``'s return value is the exit code.
 
-The interpreter is a single dispatch loop over flat instruction tuples; it is
-written for speed (local variable binding, integer opcode comparisons) because
-the workload programs execute millions of operations.
+Two execution engines share this entry point:
+
+* ``engine="fast"`` (the default) predecodes the program once — operand
+  pre-binding plus basic-block superinstruction fusion, see
+  :mod:`repro.vm.engine` — and runs one of two loop variants selected at
+  ``run()`` time: a monitor-free fast loop, or the monitored loop when
+  branch observers are attached.
+* ``engine="legacy"`` is the original single dispatch loop over the flat
+  instruction tuples, kept as the differential-testing and benchmarking
+  baseline.
+
+Both engines produce bit-identical :class:`RunResult`\\ s (instructions,
+per-branch exec/taken counts, control events, output, exit code); the
+differential harness in ``tests/test_vm_engine.py`` enforces that.
 """
 from __future__ import annotations
 
@@ -43,6 +54,9 @@ DEFAULT_MAX_INSTRUCTIONS = 200_000_000
 #: Default call-depth limit (catches unbounded recursion).
 DEFAULT_MAX_CALL_DEPTH = 10_000
 
+#: Valid values for the ``engine`` selector.
+ENGINES = ("fast", "legacy")
+
 
 class Machine:
     """Executes lowered programs and collects :class:`RunResult` counts."""
@@ -51,9 +65,13 @@ class Machine:
         self,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
+        engine: str = "fast",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.max_instructions = max_instructions
         self.max_call_depth = max_call_depth
+        self.engine = engine
 
     def run(
         self,
@@ -62,10 +80,35 @@ class Machine:
         monitors: Sequence[BranchMonitor] = (),
     ) -> RunResult:
         """Run ``program`` over ``input_data`` and return the measured counts."""
-        functions = program.functions
-        main = functions[program.main_index]
+        main = program.functions[program.main_index]
         if main.num_params != 0:
             raise VMError("main must take no parameters")
+        for monitor in monitors:
+            monitor.on_run_start(len(program.branch_table))
+
+        if self.engine == "fast":
+            from repro.vm.engine import predecode, run_fast, run_monitored
+
+            decoded = predecode(program)
+            if monitors:
+                return run_monitored(
+                    decoded, input_data, monitors,
+                    self.max_instructions, self.max_call_depth,
+                )
+            return run_fast(
+                decoded, input_data, self.max_instructions, self.max_call_depth
+            )
+        return self._run_legacy(program, input_data, monitors)
+
+    def _run_legacy(
+        self,
+        program: LoweredProgram,
+        input_data: bytes,
+        monitors: Sequence[BranchMonitor],
+    ) -> RunResult:
+        """The original tuple-dispatch interpreter (the baseline engine)."""
+        functions = program.functions
+        main = functions[program.main_index]
 
         memory = list(program.memory_init)
         mem_size = len(memory)
@@ -83,9 +126,8 @@ class Machine:
         limit = self.max_instructions
         depth_limit = self.max_call_depth
 
-        for monitor in monitors:
-            monitor.on_run_start(num_branches)
         have_monitors = bool(monitors)
+        in_monitor = False
 
         binop_funcs = BINOP_FUNCS
         unop_funcs = UNOP_FUNCS
@@ -125,13 +167,17 @@ class Machine:
                         branch_taken[bidx] += 1
                         pc = ins[2]
                         if have_monitors:
+                            in_monitor = True
                             for monitor in monitors:
                                 monitor.on_branch(bidx, True, icount)
+                            in_monitor = False
                     else:
                         pc = ins[3]
                         if have_monitors:
+                            in_monitor = True
                             for monitor in monitors:
                                 monitor.on_branch(bidx, False, icount)
+                            in_monitor = False
                 elif op == _OP_STORE:
                     addr = regs[ins[1]]
                     if addr < 0 or addr >= mem_size:
@@ -209,11 +255,18 @@ class Machine:
                 else:  # pragma: no cover - lowering emits only known opcodes
                     raise VMError(f"{program.name}: unknown opcode {op}")
         except ZeroDivisionError:
+            if in_monitor:
+                raise  # a monitor's own bug, not a guest division fault
             raise VMError(f"{program.name}: division by zero") from None
         except IndexError:
+            if in_monitor:
+                raise  # a monitor's own bug, not a guest memory fault
             raise VMError(
                 f"{program.name}: bad register or code reference at pc {pc - 1}"
             ) from None
+
+        for monitor in monitors:
+            monitor.on_run_end(icount)
 
         events = ControlEvents(
             direct_calls=direct_calls,
@@ -240,7 +293,8 @@ def run_program(
     input_data: bytes = b"",
     monitors: Sequence[BranchMonitor] = (),
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    engine: str = "fast",
 ) -> RunResult:
     """Convenience wrapper: run a program on a fresh :class:`Machine`."""
-    machine = Machine(max_instructions=max_instructions)
+    machine = Machine(max_instructions=max_instructions, engine=engine)
     return machine.run(program, input_data=input_data, monitors=monitors)

@@ -23,6 +23,11 @@ class BranchMonitor:
     def on_run_start(self, num_branches: int) -> None:
         """Called once before execution with the static branch count."""
 
+    def on_run_end(self, icount: int) -> None:
+        """Called once after a normally-terminating run with the final
+        executed-instruction count (both engines, both loop variants).
+        Not called when the run aborts with a VM error or limit."""
+
 
 class OutcomeRecorder(BranchMonitor):
     """Records the full outcome sequence (for tests and small programs only)."""
@@ -170,6 +175,15 @@ class RunLengthMonitor(BranchMonitor):
 
     def on_branch(self, branch_index: int, taken: bool, icount: int) -> None:
         if taken != self.directions[branch_index]:
+            self.run_lengths.append(icount - self._last_break_icount)
+            self._last_break_icount = icount
+
+    def on_run_end(self, icount: int) -> None:
+        # Flush the tail run: instructions executed after the last
+        # misprediction still form a (final, break-terminated-by-exit) run;
+        # dropping them biases the mean/p90 low on workloads that end with
+        # a long correctly-predicted stretch.
+        if icount > self._last_break_icount:
             self.run_lengths.append(icount - self._last_break_icount)
             self._last_break_icount = icount
 

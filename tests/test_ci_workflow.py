@@ -49,6 +49,10 @@ def test_jobs_run_the_advertised_commands(workflow):
         "pytest benchmarks" in line
         for line in _run_lines(jobs["benchmark-smoke"])
     )
+    assert any(
+        "benchmarks/bench_vm.py" in line
+        for line in _run_lines(jobs["benchmark-smoke"])
+    ), "the smoke job must enforce the VM fast-engine speedup floor"
     assert any("examples/*.py" in line for line in _run_lines(jobs["examples"]))
     assert any(
         "repro-mf lint" in line for line in _run_lines(jobs["examples"])

@@ -83,6 +83,53 @@ def test_run_digest_sensitivity():
     assert run_digest("src", b"input", "dce=False") == base
 
 
+def test_run_digest_is_injective_across_field_boundaries():
+    # Mirrors the RunConfig.tag() injectivity test: without length
+    # prefixes, content containing the old '|' separator could shift
+    # across field boundaries and serve the wrong cached run.
+    assert run_digest("x|y", b"z", "cfg") != run_digest("x", b"y|z", "cfg")
+    assert run_digest("s", b"in", "c|") != run_digest("|s", b"in", "c")
+    assert run_digest("c|", b"", "") != run_digest("c", b"", "|")
+    assert run_digest("", b"a", "b") != run_digest("b", b"a", "")
+    # Digits migrating between a field and its length prefix must differ.
+    assert run_digest("1", b"", "") != run_digest("", b"1", "")
+
+
+def test_disk_cache_store_is_safe_under_concurrent_writers(tmp_path, runner):
+    # Two parallel workers storing the same digest used to share one
+    # "<digest>.json.tmp" path, interleaving writes and racing the final
+    # rename; per-writer temp files make every store atomic.
+    import json
+    import threading
+
+    result = runner.run("lfk", "default")
+    cache = DiskCache(str(tmp_path))
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(50):
+                cache.store("shared", result)
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    loaded = cache.load("shared")
+    assert loaded is not None
+    assert run_result_to_dict(loaded) == run_result_to_dict(result)
+    # The entry parses as clean JSON (no interleaved writes) and no
+    # orphaned temp files survive.
+    with open(tmp_path / "shared.json") as handle:
+        json.load(handle)
+    assert [p.name for p in tmp_path.glob("*.tmp")] == []
+
+
 def test_disk_cache_used_across_runner_instances(tmp_path):
     first = WorkloadRunner(cache_dir=str(tmp_path))
     result = first.run("lfk", "default")
