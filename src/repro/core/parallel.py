@@ -240,7 +240,7 @@ class ParallelRunner:
         for key, digest in digests.items():
             cached = self.runner._disk.load(digest)
             if cached is not None:
-                self.runner._runs[key] = cached
+                self.runner._memoize(key, cached)
             else:
                 misses.append(key)
         return misses
@@ -327,5 +327,5 @@ class ParallelRunner:
             if cached is None:
                 orphans.append(key)
             else:
-                self.runner._runs[key] = cached
+                self.runner._memoize(key, cached)
         return orphans

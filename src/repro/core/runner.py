@@ -3,7 +3,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.compiler import CompiledProgram, CompileOptions, compile_source
 from repro.core.cache import DiskCache, run_digest
@@ -60,10 +60,21 @@ class WorkloadRunner:
     ``jobs`` sets the default fan-out for the batched ``run_many`` path
     (``None`` consults the ``REPRO_JOBS`` environment variable, ``0``
     means all cores); single ``run`` calls are always in-process.
+
+    ``publish`` is an optional profile-publish hook,
+    ``callable(result, dataset_name)``, invoked exactly once per
+    (workload, dataset, config) triple when its result is first
+    memoized — whether it came from a fresh execution, the disk cache,
+    or a parallel worker.  The profile-feedback service's upload path
+    (``ProfileClient.publisher()``) plugs in here.  Monitored runs are
+    never memoized and therefore never published.
     """
 
     def __init__(
-        self, cache_dir: Optional[str] = "auto", jobs: Optional[int] = None
+        self,
+        cache_dir: Optional[str] = "auto",
+        jobs: Optional[int] = None,
+        publish: Optional[Callable[[RunResult, str], None]] = None,
     ):
         from repro.core.parallel import resolve_jobs
 
@@ -74,6 +85,19 @@ class WorkloadRunner:
         self._runs: Dict[Tuple[str, str, RunConfig], RunResult] = {}
         self._machine = Machine()
         self.jobs = resolve_jobs(jobs)
+        self.publish = publish
+
+    def _memoize(
+        self, key: Tuple[str, str, RunConfig], result: RunResult
+    ) -> None:
+        """Record a result in the in-memory memo, publishing it on first
+        sight.  Every path that materializes a result — serial run, disk
+        hit, parallel collection — funnels through here, so the publish
+        hook fires exactly once per triple per runner."""
+        fresh = key not in self._runs
+        self._runs[key] = result
+        if fresh and self.publish is not None:
+            self.publish(result, key[1])
 
     @staticmethod
     def _config(
@@ -132,7 +156,7 @@ class WorkloadRunner:
             if cached is None:
                 cached = self._execute(key, ())
                 self._disk.store(digest, cached)
-            self._runs[key] = cached
+            self._memoize(key, cached)
         return self._runs[key]
 
     def _execute(

@@ -9,6 +9,13 @@ predicted (§3, "Scaled vs. unscaled summary predictors"):
   the reported figures use);
 * **polling** — one vote per dataset per branch, regardless of counts
   (discarded by the paper for performing poorly).
+
+Profiles with zero recorded branch executions carry no evidence in any
+mode (scaled weighting would even divide by zero), so they are handled
+deliberately rather than silently: skipped by default, or rejected with
+``on_empty="error"``.  In every mode the combined profile's ``runs`` is
+the total number of underlying runs of the profiles that actually
+contributed.
 """
 from __future__ import annotations
 
@@ -18,41 +25,56 @@ from repro.profiling.branch_profile import BranchProfile
 
 COMBINE_MODES = ("scaled", "unscaled", "polling")
 
+ON_EMPTY = ("skip", "error")
+
 
 def combine_profiles(
     profiles: Iterable[BranchProfile],
     mode: str = "scaled",
     program: str = "",
+    on_empty: str = "skip",
 ) -> BranchProfile:
-    """Combine profiles into one summary profile using ``mode``."""
+    """Combine profiles into one summary profile using ``mode``.
+
+    ``on_empty`` decides what happens to profiles with zero total branch
+    executions: ``"skip"`` (the default) leaves them out of both the counts
+    and the ``runs`` accounting; ``"error"`` raises ``ValueError``.
+    """
     profiles = list(profiles)
     if not profiles:
         raise ValueError("no profiles to combine")
     if mode not in COMBINE_MODES:
         raise ValueError(f"unknown combine mode {mode!r}; use one of {COMBINE_MODES}")
+    if on_empty not in ON_EMPTY:
+        raise ValueError(f"unknown on_empty {on_empty!r}; use one of {ON_EMPTY}")
     name = program or profiles[0].program
+
+    empty = [profile for profile in profiles if not profile.total_executed]
+    if empty and on_empty == "error":
+        raise ValueError(
+            f"{len(empty)} of {len(profiles)} profiles have no branch "
+            f"executions (program {name!r})"
+        )
+    used = [profile for profile in profiles if profile.total_executed]
 
     combined = BranchProfile(program=name)
     if mode == "unscaled":
-        for profile in profiles:
+        for profile in used:
             combined.add_profile(profile)
-        return combined
-    if mode == "scaled":
-        for profile in profiles:
-            total = profile.total_executed
-            weight = 1.0 / total if total else 0.0
-            combined.add_profile(profile, weight=weight)
-        return combined
-    # polling: each dataset casts one vote per branch it executed.
-    for profile in profiles:
-        votes = BranchProfile(program=name)
-        for branch_id in profile:
-            votes.counts[branch_id] = (
-                1.0,
-                1.0 if profile.direction(branch_id) else 0.0,
-            )
-        combined.add_profile(votes)
-    combined.runs = len(profiles)
+    elif mode == "scaled":
+        for profile in used:
+            combined.add_profile(profile, weight=1.0 / profile.total_executed)
+    else:
+        # polling: each dataset casts one vote per branch it executed.
+        for profile in used:
+            votes = BranchProfile(program=name)
+            for branch_id in profile:
+                votes.counts[branch_id] = (
+                    1.0,
+                    1.0 if profile.direction(branch_id) else 0.0,
+                )
+            combined.add_profile(votes)
+    combined.runs = sum(profile.runs for profile in used)
     return combined
 
 
@@ -60,6 +82,7 @@ def leave_one_out(
     profiles: List[BranchProfile],
     exclude_index: int,
     mode: str = "scaled",
+    on_empty: str = "skip",
 ) -> BranchProfile:
     """Combine every profile except ``profiles[exclude_index]``.
 
@@ -73,4 +96,4 @@ def leave_one_out(
     ]
     if not rest:
         raise ValueError("leave-one-out needs at least two profiles")
-    return combine_profiles(rest, mode=mode)
+    return combine_profiles(rest, mode=mode, on_empty=on_empty)

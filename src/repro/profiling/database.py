@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Dict, List, Optional, Tuple
 
 from repro.profiling.branch_profile import BranchProfile
@@ -36,6 +37,27 @@ class ProfileDatabase:
             profile = BranchProfile(program=run.program)
             self._by_dataset[key] = profile
         profile.add_run(run)
+
+    def record_profile(
+        self, program: str, dataset: str, profile: BranchProfile
+    ) -> None:
+        """Accumulate an already-aggregated per-run profile.
+
+        This is the profile-feedback service's upload path: clients ship a
+        run's branch counters as a ``BranchProfile`` rather than the whole
+        ``RunResult``.  Accumulating ``BranchProfile.from_run(run)`` here is
+        float-for-float identical to ``record(run, ...)``.
+        """
+        if profile.program != program:
+            raise ValueError(
+                f"profile is for {profile.program!r}, expected {program!r}"
+            )
+        key = (program, dataset)
+        existing = self._by_dataset.get(key)
+        if existing is None:
+            existing = BranchProfile(program=program)
+            self._by_dataset[key] = existing
+        existing.add_profile(profile)
 
     # -- queries ---------------------------------------------------------------
 
@@ -95,11 +117,28 @@ class ProfileDatabase:
         return database
 
     def save(self, path: str) -> None:
-        """Write the database as JSON (atomically)."""
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
-        os.replace(tmp_path, path)
+        """Write the database as JSON (atomically).
+
+        Each writer gets its own mkstemp temp file in the target directory
+        (same filesystem, so ``os.replace`` stays atomic).  A shared
+        ``<path>.tmp`` would let two concurrent writers interleave writes
+        and race the final rename, leaving a corrupt or vanished database —
+        the same failure ``DiskCache.store`` had under parallel workers.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str) -> "ProfileDatabase":

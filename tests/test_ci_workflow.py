@@ -24,9 +24,9 @@ def test_workflow_parses_and_triggers(workflow):
 
 
 def test_workflow_has_all_jobs(workflow):
-    assert {"tests", "lint", "benchmark-smoke", "examples"} <= set(
-        workflow["jobs"]
-    )
+    assert {
+        "tests", "lint", "benchmark-smoke", "serve-smoke", "examples"
+    } <= set(workflow["jobs"])
 
 
 def test_test_matrix_covers_supported_pythons(workflow):
@@ -53,6 +53,19 @@ def test_jobs_run_the_advertised_commands(workflow):
         "benchmarks/bench_vm.py" in line
         for line in _run_lines(jobs["benchmark-smoke"])
     ), "the smoke job must enforce the VM fast-engine speedup floor"
+    serve_lines = _run_lines(jobs["serve-smoke"])
+    assert any(
+        "repro-serve serve" in line for line in serve_lines
+    ), "the serve-smoke job must start a live aggregation server"
+    assert any(
+        "upload-sweep" in line and "predict" in line for line in serve_lines
+    ), "the serve-smoke job must round-trip upload-sweep and predict"
+    assert any(
+        "--verify-offline" in line for line in serve_lines
+    ), "served predictions must be checked byte-for-byte against offline"
+    assert any(
+        "benchmarks/bench_serve.py" in line for line in serve_lines
+    ), "the serve-smoke job must enforce the upload throughput floor"
     assert any("examples/*.py" in line for line in _run_lines(jobs["examples"]))
     assert any(
         "repro-mf lint" in line for line in _run_lines(jobs["examples"])

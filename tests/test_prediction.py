@@ -140,6 +140,58 @@ def test_combine_polling_one_vote_each():
     assert polled.direction(BranchId("f", 0)) is False
 
 
+def test_combine_runs_accounting_consistent_across_modes():
+    """``runs`` is the total underlying runs of the contributing profiles
+    in *every* mode — polling used to report the profile count instead,
+    and scaled/unscaled silently included empty profiles."""
+    a = make_profile({("f", 0): (10, 9)})
+    a.runs = 3
+    b = make_profile({("f", 0): (10, 1)})
+    b.runs = 2
+    for mode in ("scaled", "unscaled", "polling"):
+        assert combine_profiles([a, b], mode=mode).runs == 5, mode
+
+
+def test_combine_skips_empty_profiles_deliberately():
+    empty = make_profile({("g", 7): (0, 0)})
+    empty.runs = 4
+    loaded = make_profile({("f", 0): (10, 9)})
+    loaded.runs = 1
+    for mode in ("scaled", "unscaled", "polling"):
+        combined = combine_profiles([loaded, empty], mode=mode)
+        # The empty profile contributes neither runs nor branch sites.
+        assert combined.runs == 1, mode
+        assert BranchId("g", 7) not in combined, mode
+        assert BranchId("f", 0) in combined, mode
+
+
+def test_combine_on_empty_error_surfaces_empty_profiles():
+    empty = make_profile({})
+    loaded = make_profile({("f", 0): (10, 9)})
+    with pytest.raises(ValueError, match="no branch executions"):
+        combine_profiles([loaded, empty], mode="scaled", on_empty="error")
+    with pytest.raises(ValueError):
+        combine_profiles([loaded], on_empty="bogus")
+
+
+def test_combine_all_empty_returns_empty_summary():
+    combined = combine_profiles([make_profile({})], mode="scaled")
+    assert len(combined) == 0
+    assert combined.runs == 0
+
+
+def test_leave_one_out_passes_on_empty_through():
+    profiles = [
+        make_profile({("f", 0): (10, 10)}),
+        make_profile({}),
+        make_profile({("f", 0): (10, 0)}),
+    ]
+    with pytest.raises(ValueError, match="no branch executions"):
+        leave_one_out(profiles, exclude_index=2, on_empty="error")
+    loo = leave_one_out(profiles, exclude_index=2, mode="unscaled")
+    assert loo.counts[BranchId("f", 0)] == (10.0, 10.0)
+
+
 def test_combine_rejects_bad_mode_and_empty():
     with pytest.raises(ValueError):
         combine_profiles([], mode="scaled")

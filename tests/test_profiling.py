@@ -119,6 +119,72 @@ def test_database_persistence(tmp_path):
     )
 
 
+def test_database_record_profile_matches_record(tmp_path):
+    run = compile_and_run(BIASED_LOOP, name="prog")
+    via_run = ProfileDatabase()
+    via_run.record(run, "d1")
+    via_run.record(run, "d1")
+    via_profile = ProfileDatabase()
+    via_profile.record_profile("prog", "d1", BranchProfile.from_run(run))
+    via_profile.record_profile("prog", "d1", BranchProfile.from_run(run))
+    assert via_profile.to_dict() == via_run.to_dict()
+
+
+def test_database_record_profile_program_mismatch():
+    run = compile_and_run(BIASED_LOOP, name="prog")
+    with pytest.raises(ValueError):
+        ProfileDatabase().record_profile(
+            "other", "d1", BranchProfile.from_run(run)
+        )
+
+
+def test_database_save_survives_concurrent_writers(tmp_path):
+    """Regression: ``save`` used a shared ``<path>.tmp``, so concurrent
+    writers interleaved JSON and raced the rename — FileNotFoundError or
+    a corrupt database.  Per-writer mkstemp temp files make every
+    observable state a complete database from exactly one writer."""
+    import json
+    import threading
+
+    run = compile_and_run(BIASED_LOOP, name="prog")
+    databases = []
+    for index in range(4):
+        database = ProfileDatabase()
+        for repeat in range(index + 1):
+            database.record(run, f"d{index}")
+        databases.append(database)
+    valid_dumps = {
+        json.dumps(database.to_dict(), sort_keys=True)
+        for database in databases
+    }
+
+    path = str(tmp_path / "hammered.json")
+    errors = []
+
+    def hammer(database):
+        try:
+            for _ in range(25):
+                database.save(path)
+        except BaseException as exc:  # noqa: BLE001 - collected for assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(database,))
+        for database in databases
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors, f"concurrent saves raised: {errors!r}"
+    with open(path) as handle:
+        final = json.dumps(json.load(handle), sort_keys=True)
+    assert final in valid_dumps
+    leftovers = [name for name in tmp_path.iterdir() if ".tmp" in name.name]
+    assert not leftovers, f"temp files leaked: {leftovers}"
+
+
 def test_ifprobber_full_feedback_loop():
     probber = IfProbber(BIASED_LOOP, name="prog")
     probber.run_dataset("d1", b"")
